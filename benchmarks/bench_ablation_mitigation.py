@@ -1,0 +1,20 @@
+"""Ablation: does readout mitigation preserve the approximation advantage?
+
+The paper's related work asks whether approximate-circuit benefits hold
+for "processes which require post-processing or manipulation of error
+levels". This bench answers it for readout mitigation.
+"""
+
+from conftest import write_result
+
+from repro.experiments.ablations import mitigation_ablation
+
+
+def test_ablation_mitigation(benchmark, results_dir):
+    result = benchmark.pedantic(mitigation_ablation, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_mitigation", result.rows())
+
+    # The approximation advantage must survive mitigation...
+    assert result.mitigated_improvement > 0.3
+    # ...and most of the pool still beats the reference.
+    assert result.mitigated_beating > 0.5

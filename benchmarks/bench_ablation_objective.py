@@ -1,0 +1,16 @@
+"""Ablation: smooth vs sqrt synthesis objective."""
+
+from conftest import write_result
+
+from repro.experiments.ablations import objective_ablation
+
+
+def test_ablation_objective(benchmark, results_dir):
+    result = benchmark.pedantic(objective_ablation, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_objective", result.rows())
+
+    # The smooth form must converge strictly more reliably: the HS
+    # distance's sqrt has infinite slope at the optimum, which defeats
+    # L-BFGS line searches.
+    assert result.smooth_success > result.sqrt_success
+    assert result.smooth_mean_cost < result.sqrt_mean_cost

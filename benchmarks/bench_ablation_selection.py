@@ -1,0 +1,21 @@
+"""Ablation: circuit-selection strategies across noise levels (Obs. 2)."""
+
+from conftest import write_result
+
+from repro.experiments.ablations import selection_ablation
+
+
+def test_ablation_selection(benchmark, results_dir):
+    result = benchmark.pedantic(selection_ablation, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_selection", result.rows())
+
+    low, high = result.levels[0], result.levels[-1]
+    # The paper's conclusion: process distance alone is not enough — the
+    # noise-aware prediction beats minimal-HS once noise is high.
+    assert result.table["noise_aware"][high] <= result.table["minimal_hs"][high]
+    # And the oracle (simulate-and-pick) dominates every strategy: circuit
+    # selection remains an open problem, as the paper states.
+    for name in ("minimal_hs", "shortest", "noise_aware"):
+        assert result.table["oracle"][high] <= result.table[name][high] + 1e-12
+    # At low noise, exactness matters: minimal-HS beats pure-shortest.
+    assert result.table["minimal_hs"][low] < result.table["shortest"][low]

@@ -1,0 +1,17 @@
+"""Ablation: Toffoli input-test-suite choice for the JS score."""
+
+from conftest import write_result
+
+from repro.experiments.ablations import toffoli_suite_ablation
+
+
+def test_ablation_toffoli_suite(benchmark, results_dir):
+    result = benchmark.pedantic(toffoli_suite_ablation, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_suite", result.rows())
+
+    # Both suites separate the pool; their scores must vary (otherwise the
+    # JS figures would be flat lines).
+    assert result.basic_spread > 0.01
+    assert result.extended_spread > 0.01
+    # The suites genuinely measure different things.
+    assert result.basic_scores != result.extended_scores

@@ -1,0 +1,67 @@
+"""Extension: device characterisation protocols on the emulated stack."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import gate_matrix
+from repro.experiments import NoiseModelBackend
+from repro.hardware import run_rb
+from repro.noise import (
+    GateError,
+    NoiseModel,
+    depolarizing_channel,
+    get_device,
+    process_fidelity_to_channel,
+    process_tomography,
+)
+from repro.noise.channels import KrausChannel
+from repro.sim import DensityMatrixSimulator
+
+
+def _study():
+    rows = ["[ext:characterization]"]
+
+    # RB on two devices: the better device must show slower decay.
+    decays = {}
+    for name in ("ourense", "rome"):
+        backend = NoiseModelBackend(
+            get_device(name).noise_model(include_readout=False)
+        )
+        result = run_rb(
+            backend, lengths=(1, 8, 24, 48), sequences_per_length=3
+        )
+        decays[name] = result
+        rows.append(
+            f"rb[{name}]: p={result.decay:.5f} "
+            f"error/Clifford={result.error_per_clifford:.5f}"
+        )
+
+    # Tomography closes the model loop exactly.
+    model = NoiseModel()
+    model.add_gate_error(GateError(depolarizing=0.05), "cx", None)
+    sim = DensityMatrixSimulator(model)
+
+    def apply_process(prep: QuantumCircuit) -> np.ndarray:
+        circuit = prep.copy()
+        circuit.cx(0, 1)
+        return sim.run(circuit).data
+
+    measured = process_tomography(apply_process, 2)
+    expected = KrausChannel([gate_matrix("cx")]).compose(
+        depolarizing_channel(0.05, 2)
+    )
+    fidelity = process_fidelity_to_channel(measured, expected)
+    rows.append(f"tomography: process fidelity to injected model {fidelity:.8f}")
+    return decays, fidelity, "\n".join(rows)
+
+
+def test_characterization(benchmark, results_dir):
+    decays, fidelity, text = benchmark.pedantic(_study, rounds=1, iterations=1)
+    write_result(results_dir, "ext_characterization", text)
+
+    # Rome is the noisiest Table 1 device: its RB decay must be faster.
+    assert decays["rome"].decay < decays["ourense"].decay
+    assert decays["rome"].error_per_clifford > decays["ourense"].error_per_clifford
+    # Tomography must reconstruct the injected channel essentially exactly.
+    assert abs(fidelity - 1.0) < 1e-6

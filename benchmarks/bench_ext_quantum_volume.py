@@ -1,0 +1,40 @@
+"""Extension (paper §6.5): quantum volume of the emulated backends."""
+
+from conftest import write_result
+
+from repro.experiments import IdealBackend, NoiseModelBackend
+from repro.hardware import achieved_quantum_volume, measure_quantum_volume
+from repro.noise import get_device
+
+
+def _study():
+    rows = []
+    outcomes = {}
+    for label, backend in (
+        ("ideal", IdealBackend()),
+        ("ourense", NoiseModelBackend(get_device("ourense").noise_model())),
+        (
+            "ourense_x10",
+            NoiseModelBackend(get_device("ourense").noise_model().scaled(10.0)),
+        ),
+    ):
+        results = measure_quantum_volume(
+            backend, widths=(2, 3), circuits_per_width=4
+        )
+        qv = achieved_quantum_volume(results)
+        outcomes[label] = qv
+        hops = ", ".join(
+            f"m={w}: HOP {r.mean_hop:.3f}" for w, r in results.items()
+        )
+        rows.append(f"{label:<12} {hops} -> QV {qv}")
+    return outcomes, "\n".join(["[ext:quantum-volume]"] + rows)
+
+
+def test_quantum_volume(benchmark, results_dir):
+    outcomes, text = benchmark.pedantic(_study, rounds=1, iterations=1)
+    write_result(results_dir, "ext_quantum_volume", text)
+
+    # Shape: QV degrades monotonically with noise.
+    assert outcomes["ideal"] >= outcomes["ourense"] >= outcomes["ourense_x10"]
+    assert outcomes["ideal"] == 8
+    assert outcomes["ourense_x10"] == 1

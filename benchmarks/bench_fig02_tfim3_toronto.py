@@ -1,0 +1,24 @@
+"""Figure 2: 3q TFIM under the Toronto noise model — selected series."""
+
+from conftest import write_result
+
+from repro.experiments import fig02
+
+
+def test_fig02(benchmark, results_dir):
+    result = benchmark.pedantic(fig02, rounds=1, iterations=1)
+    write_result(results_dir, "fig02", result.rows())
+
+    # Shape: noisy reference diverges with timestep depth — the worst
+    # error lands in the deep half of the trajectory and the deepest
+    # step is worse than the shallowest.
+    import numpy as np
+
+    errors = np.abs(result.noisy_reference - result.noise_free)
+    assert errors[-1] > errors[0]
+    assert int(np.argmax(errors)) >= len(errors) // 2
+    # Shape: minimal-HS closer to ideal than the noisy reference.
+    assert result.minimal_hs_error() < result.reference_error()
+    # Shape: best approximations closest of all (Observation 1).
+    assert result.best_error() <= result.minimal_hs_error()
+    assert result.improvement() > 0.3

@@ -1,0 +1,16 @@
+"""Figure 3: 3q TFIM, Toronto model — every approximate circuit."""
+
+from conftest import write_result
+
+from repro.experiments import fig03
+
+
+def test_fig03(benchmark, results_dir):
+    result = benchmark.pedantic(fig03, rounds=1, iterations=1)
+    write_result(results_dir, "fig03", result.rows())
+
+    # Shape: nearly all approximations beat the noisy reference.
+    assert result.fraction_beating_reference() > 0.55
+    # The pool spans multiple CNOT depths (the colour axis of the figure).
+    depths = {p.cnot_count for p in result.points}
+    assert len(depths) >= 4

@@ -1,0 +1,17 @@
+"""Figure 4: 4q TFIM under the Santiago noise model."""
+
+from conftest import write_result
+
+from repro.experiments import fig04
+
+
+def test_fig04(benchmark, results_dir):
+    result = benchmark.pedantic(fig04, rounds=1, iterations=1)
+    write_result(results_dir, "fig04", result.rows())
+
+    # Shape: wide CNOT range in the pool (paper: 1..48).
+    depths = sorted({p.cnot_count for p in result.points})
+    assert depths[0] <= 1 and depths[-1] >= 6
+    # Shape: many approximations closer to ideal than the noisy reference.
+    assert result.fraction_beating_reference() > 0.35
+    assert result.best_error() < result.reference_error()

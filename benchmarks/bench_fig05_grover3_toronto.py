@@ -1,0 +1,15 @@
+"""Figure 5: 3q Grover success probability vs CNOT count, Toronto model."""
+
+from conftest import write_result
+
+from repro.experiments import fig05
+
+
+def test_fig05(benchmark, results_dir):
+    result = benchmark.pedantic(fig05, rounds=1, iterations=1)
+    write_result(results_dir, "fig05", result.rows())
+
+    # Shape: many approximations above the reference line, a fraction below.
+    frac = result.fraction_better_than_reference()
+    assert frac > 0.5
+    assert result.best().value > result.reference.value

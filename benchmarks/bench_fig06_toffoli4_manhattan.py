@@ -1,0 +1,20 @@
+"""Figure 6: 4q Toffoli JS distance vs CNOT count, Manhattan model."""
+
+from conftest import write_result
+
+from repro.experiments import fig06
+from repro.metrics import UNIFORM_NOISE_JS
+
+
+def test_fig06(benchmark, results_dir):
+    result = benchmark.pedantic(fig06, rounds=1, iterations=1)
+    write_result(results_dir, "fig06", result.rows())
+
+    # Shape: low-depth approximations outperform the reference.
+    best = result.best()
+    assert best.value < result.reference.value
+    assert best.cnot_count < result.reference.cnot_count
+    # Shape: the noise floor is the paper's 0.465 line.
+    assert abs(result.noise_floor - UNIFORM_NOISE_JS) < 1e-12
+    # Shape: some deep approximations perform worse than the reference.
+    assert any(p.value > result.reference.value for p in result.points)

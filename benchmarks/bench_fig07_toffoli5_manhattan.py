@@ -1,0 +1,20 @@
+"""Figure 7: 5q Toffoli JS distance vs CNOT count, Manhattan model."""
+
+from conftest import write_result
+
+from repro.experiments import fig06, fig07
+from repro.metrics import UNIFORM_NOISE_JS
+
+
+def test_fig07(benchmark, results_dir):
+    result = benchmark.pedantic(fig07, rounds=1, iterations=1)
+    write_result(results_dir, "fig07", result.rows())
+
+    # Shape: the 5q reference scores worse than the 4q one (paper text).
+    assert result.reference.value > fig06().reference.value
+    # Shape: deep circuits trend toward the 0.465 random-noise floor.
+    deep = [p for p in result.points if p.cnot_count >= 40]
+    if deep:
+        assert min(abs(p.value - UNIFORM_NOISE_JS) for p in deep) < 0.12
+    # Shape: short approximations still beat the reference.
+    assert result.best().value < result.reference.value

@@ -1,0 +1,19 @@
+"""The 3q Toffoli negative result (paper §6.1, figure omitted).
+
+"the 3-qubit approximate circuits performed poorly compared to the
+optimized hand-crafted Toffoli gate commonly used, which uses only 6
+CNOTs" — Observation 4's flip side.
+"""
+
+from conftest import write_result
+
+from repro.experiments import fig07b
+
+
+def test_fig07b(benchmark, results_dir):
+    result = benchmark.pedantic(fig07b, rounds=1, iterations=1)
+    write_result(results_dir, "fig07b", result.rows())
+
+    assert result.reference.cnot_count == 6
+    # Shape: approximations do NOT beat the short hand-crafted reference.
+    assert result.fraction_better_than_reference() < 0.25

@@ -1,0 +1,16 @@
+"""Figure 8: 3q TFIM, Ourense model, CNOT error pinned to zero."""
+
+from conftest import write_result
+
+from repro.experiments import fig08
+
+
+def test_fig08(benchmark, results_dir):
+    result = benchmark.pedantic(fig08, rounds=1, iterations=1)
+    write_result(results_dir, "fig08", result.rows())
+
+    # Shape: without CNOT noise, depth is not the deciding factor — the
+    # best circuits are allowed to be deep.
+    assert max(result.best_depth_series()) >= 3
+    # Residual (1q/readout/thermal) noise still separates ref from ideal.
+    assert result.reference_error() > 0.0

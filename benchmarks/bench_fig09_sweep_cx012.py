@@ -1,0 +1,18 @@
+"""Figure 9: 3q TFIM, Ourense model, CNOT error pinned to 0.12."""
+
+from conftest import write_result
+
+from repro.experiments import fig08, fig09
+
+
+def test_fig09(benchmark, results_dir):
+    result = benchmark.pedantic(fig09, rounds=1, iterations=1)
+    write_result(results_dir, "fig09", result.rows())
+
+    # Shape: raising CNOT error shrinks the observed magnetization.
+    baseline = fig08()
+    assert (
+        abs(result.noisy_reference).mean() < abs(baseline.noisy_reference).mean()
+    )
+    # Shape: the reference suffers much more than the approximations.
+    assert result.improvement() > 0.5

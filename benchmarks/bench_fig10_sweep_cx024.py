@@ -1,0 +1,27 @@
+"""Figure 10: 3q TFIM, Ourense model, CNOT error pinned to 0.24."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.experiments import fig09, fig10
+
+
+def test_fig10(benchmark, results_dir):
+    result = benchmark.pedantic(fig10, rounds=1, iterations=1)
+    write_result(results_dir, "fig10", result.rows())
+
+    # Shape: worse than the 0.12 sweep for the reference...
+    assert result.reference_error() > fig09().reference_error()
+    # ...while the best shallow circuits remain usable (Observation 5).
+    assert result.best_error() < 0.35 * result.reference_error()
+    # Shape: best of the shortest circuits beats best of the longest.
+    by_depth = {}
+    for i, step in enumerate(result.steps):
+        for p in result.points_at(step):
+            err = abs(p.value - result.noise_free[i])
+            key = p.cnot_count
+            by_depth.setdefault(key, []).append(err)
+    depths = sorted(by_depth)
+    shallow = np.mean([min(by_depth[d]) for d in depths[: len(depths) // 2] or depths[:1]])
+    deep = np.mean([min(by_depth[d]) for d in depths[len(depths) // 2 :] or depths[-1:]])
+    assert shallow <= deep + 0.05

@@ -1,0 +1,17 @@
+"""Figure 11: best-circuit CNOT depth per timestep across error levels."""
+
+from conftest import write_result
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, results_dir):
+    result = benchmark.pedantic(fig11, rounds=1, iterations=1)
+    write_result(results_dir, "fig11", result.rows())
+
+    levels = sorted(result.series)
+    assert levels == [0.0, 0.03, 0.06, 0.12, 0.24]
+    # Shape (Observation 6): the worse the error, the shallower the best
+    # circuits in general ("but not under all circumstances") — compare
+    # the extremes.
+    assert result.mean_depth(0.24) <= result.mean_depth(0.0)

@@ -1,0 +1,14 @@
+"""Figure 12: 3q TFIM on (emulated) Manhattan hardware."""
+
+from conftest import write_result
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, results_dir):
+    result = benchmark.pedantic(fig12, rounds=1, iterations=1)
+    write_result(results_dir, "fig12", result.rows())
+
+    # Shape: almost all approximations beat the reference on hardware.
+    assert result.fraction_beating_reference() > 0.55
+    assert result.improvement() > 0.3

@@ -1,0 +1,14 @@
+"""Figure 13: 4q TFIM on (emulated) Manhattan hardware."""
+
+from conftest import write_result
+
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, results_dir):
+    result = benchmark.pedantic(fig13, rounds=1, iterations=1)
+    write_result(results_dir, "fig13", result.rows())
+
+    # Shape: the large majority of approximations beat the reference.
+    assert result.fraction_beating_reference() > 0.4
+    assert result.best_error() < result.reference_error()

@@ -1,0 +1,15 @@
+"""Figure 14: 3q Grover on (emulated) Rome hardware."""
+
+from conftest import write_result
+
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark, results_dir):
+    result = benchmark.pedantic(fig14, rounds=1, iterations=1)
+    write_result(results_dir, "fig14", result.rows())
+
+    # Shape: the routed reference is CNOT-heavy (paper: >50).
+    assert result.reference.cnot_count > 30
+    # Shape: many (but not all) approximations beat the reference.
+    assert result.fraction_better_than_reference() > 0.5

@@ -1,0 +1,19 @@
+"""Figure 15: 4q Toffoli on (emulated) Manhattan hardware."""
+
+from conftest import write_result
+
+from repro.experiments import fig15
+from repro.metrics import UNIFORM_NOISE_JS
+
+
+def test_fig15(benchmark, results_dir):
+    result = benchmark.pedantic(fig15, rounds=1, iterations=1)
+    write_result(results_dir, "fig15", result.rows())
+
+    # Shape: the best approximation has a much lower JS than the
+    # reference (the paper measured 78% lower).
+    assert result.best().value < result.reference.value
+    assert result.improvement() > 0.02
+    # Shape: hardware is noisy enough that some circuits approach (or
+    # cross) the 0.465 random-noise line.
+    assert any(p.value > UNIFORM_NOISE_JS - 0.08 for p in result.points)

@@ -1,0 +1,20 @@
+"""Figure 16: the Toronto calibration/noise report with mapping regions."""
+
+from conftest import write_result
+
+from repro.experiments import fig16
+from repro.hardware import paper_mappings
+from repro.noise import get_device
+
+
+def test_fig16(benchmark, results_dir):
+    report = benchmark.pedantic(fig16, rounds=1, iterations=1)
+    write_result(results_dir, "fig16", report)
+
+    device = get_device("toronto")
+    assert f"device toronto ({device.num_qubits} qubits)" in report
+    # Every coupler appears with its error.
+    assert report.count("-") >= len(device.edges)
+    # The four mapping rings are reported.
+    for name in paper_mappings("toronto"):
+        assert name in report

@@ -1,0 +1,17 @@
+"""Figure 17: 4q Toffoli on Toronto hardware, best-performing mapping."""
+
+from conftest import write_result
+
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark, results_dir):
+    result = benchmark.pedantic(fig17, rounds=1, iterations=1)
+    write_result(results_dir, "fig17", result.rows())
+
+    # Shape: some circuits lie below the reference (the paper saw "about
+    # a third" on its snapshot; the exact fraction depends on the pool's
+    # depth mix, so only existence plus the best-mapping ordering vs
+    # fig18 — asserted there — is required here).
+    assert result.fraction_better_than_reference() > 0.02
+    assert result.best().value < result.reference.value

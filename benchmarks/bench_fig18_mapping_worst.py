@@ -1,0 +1,15 @@
+"""Figure 18: 4q Toffoli on Toronto hardware, worst-performing mapping."""
+
+from conftest import write_result
+
+from repro.experiments import fig17, fig18
+
+
+def test_fig18(benchmark, results_dir):
+    result = benchmark.pedantic(fig18, rounds=1, iterations=1)
+    write_result(results_dir, "fig18", result.rows())
+
+    best_mapping = fig17()
+    # Shape: strictly worse outcomes than the best mapping.
+    assert result.best().value > best_mapping.best().value
+    assert result.reference.value >= best_mapping.reference.value - 0.02

@@ -1,0 +1,23 @@
+"""Figure 19: 4q Toffoli on Toronto hardware, automatic level-3 mapping."""
+
+from conftest import write_result
+
+from repro.experiments import fig17, fig18, fig19
+
+
+def test_fig19(benchmark, results_dir):
+    result = benchmark.pedantic(fig19, rounds=1, iterations=1)
+    write_result(results_dir, "fig19", result.rows())
+
+    best = fig17().best().value
+    worst = fig18().best().value
+    auto = result.best().value
+    # Shape: the automatic mapping lands between the manual extremes
+    # (within shot-noise tolerance), with fewer circuits below the
+    # reference than the best manual mapping.
+    assert auto <= worst + 0.05
+    assert auto >= best - 0.05
+    assert (
+        result.fraction_better_than_reference()
+        <= fig17().fraction_better_than_reference() + 0.05
+    )

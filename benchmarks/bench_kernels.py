@@ -1,0 +1,56 @@
+"""Micro-benchmarks for the numerical kernels.
+
+Not a paper figure — these track the throughput of the hot paths the
+experiment drivers depend on (statevector/density-matrix simulation, the
+synthesis objective, channel application), using proper multi-round
+pytest-benchmark measurement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_circuit
+from repro.noise import depolarizing_channel, get_device
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.synthesis import CircuitStructure
+from repro.synthesis.objective import HilbertSchmidtObjective
+
+
+@pytest.fixture(scope="module")
+def deep_circuit():
+    return random_circuit(4, 120, seed=1)
+
+
+def test_statevector_simulation(benchmark, deep_circuit):
+    sim = StatevectorSimulator()
+    benchmark(sim.run, deep_circuit)
+
+
+def test_density_matrix_noisy_simulation(benchmark, deep_circuit):
+    from repro.transpile import to_basis_gates
+
+    circuit = to_basis_gates(deep_circuit)
+    sim = DensityMatrixSimulator(get_device("toronto").noise_model([0, 1, 2, 3]))
+    benchmark(sim.run, circuit)
+
+
+def test_synthesis_objective_gradient(benchmark):
+    rng = np.random.default_rng(0)
+    from repro.linalg import haar_unitary
+
+    target = haar_unitary(8, rng)
+    structure = CircuitStructure(3, ((0, 1), (1, 2), (0, 1), (1, 2), (0, 1), (1, 2)))
+    objective = HilbertSchmidtObjective(target, structure)
+    params = rng.uniform(-np.pi, np.pi, structure.num_params)
+    benchmark(objective.smooth_cost_and_grad, params)
+
+
+def test_two_qubit_channel_application(benchmark):
+    channel = depolarizing_channel(0.05, 2)
+    rng = np.random.default_rng(1)
+    dim = 32
+    a = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = a @ a.conj().T
+    rho /= np.trace(rho)
+    channel.apply(rho, (1, 3), 5)  # warm the superoperator cache
+    benchmark(channel.apply, rho, (1, 3), 5)

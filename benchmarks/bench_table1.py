@@ -1,0 +1,22 @@
+"""Table 1: average CNOT errors on the five IBM machines."""
+
+from conftest import write_result
+
+from repro.experiments import table1, table1_rows
+from repro.noise import TABLE1_CNOT_ERRORS
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    write_result(results_dir, "table1", table1_rows())
+
+    by_name = {r.machine.lower(): r for r in rows}
+    # Exact agreement with the published snapshot.
+    for name, (nq, err) in TABLE1_CNOT_ERRORS.items():
+        assert by_name[name].num_qubits == nq
+        assert abs(by_name[name].avg_cnot_error - err) < 1e-9
+    # Shape: Ourense best, Rome worst (paper's ordering).
+    assert by_name["ourense"].avg_cnot_error == min(
+        r.avg_cnot_error for r in rows
+    )
+    assert by_name["rome"].avg_cnot_error == max(r.avg_cnot_error for r in rows)

@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Benchmarks run the per-figure experiment drivers at the ``quick`` scale by
+default (override with ``REPRO_SCALE``). The first run pays for synthesis;
+results are disk-cached under ``.repro_cache`` so re-runs are fast.
+
+Each benchmark writes the regenerated table/figure series to
+``results/<figure>.txt`` so the paper's numbers can be inspected without
+re-running anything.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "quick")
+
+_RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    _RESULTS.mkdir(exist_ok=True)
+    return _RESULTS
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,43 @@
+"""Grover's search on emulated IBM hardware (paper §6.3, Figure 14).
+
+Runs the 3-qubit Grover instance (marked state '111', eight "boxes") on an
+emulated ibmq_rome — drifted calibration, crosstalk, finite shots — and
+compares the routed reference against the approximate-circuit pool.
+
+Run:  python examples/grover_on_hardware.py
+      REPRO_SCALE=smoke python examples/grover_on_hardware.py
+"""
+
+from repro.experiments import fig05, fig14, get_scale
+
+
+def main() -> None:
+    scale = get_scale()
+
+    print("=== noise-model simulation (Toronto) — paper Fig. 5 ===")
+    sim = fig05(scale)
+    print(sim.rows())
+
+    print("\n=== emulated hardware (Rome) — paper Fig. 14 ===")
+    hw = fig14(scale)
+    print(hw.rows())
+
+    print("\ninterpretation:")
+    print(
+        f"  - routing blows the reference up to {hw.reference.cnot_count} "
+        f"CNOTs (the paper saw >50), collapsing its success probability to "
+        f"{hw.reference.value:.3f}"
+    )
+    best = hw.best()
+    print(
+        f"  - the best approximate circuit uses {best.cnot_count} CNOTs and "
+        f"finds the marked state with probability {best.value:.3f}"
+    )
+    print(
+        f"  - {hw.fraction_better_than_reference():.0%} of approximations "
+        "beat the reference on hardware"
+    )
+
+
+if __name__ == "__main__":
+    main()

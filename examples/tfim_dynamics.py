@@ -1,0 +1,44 @@
+"""TFIM magnetization dynamics with approximate circuits (paper §6.1).
+
+Reproduces the Figure 2 experiment at a configurable scale: the
+time-dependent Transverse-Field Ising Model simulated for 21 timesteps,
+comparing four series —
+
+* noise-free reference (the physics ground truth),
+* the reference circuit under the Toronto noise model,
+* the minimal-HS approximate circuit per timestep,
+* the best approximate circuit per timestep.
+
+Run:  python examples/tfim_dynamics.py            (quick scale)
+      REPRO_SCALE=smoke python examples/tfim_dynamics.py   (fast demo)
+"""
+
+from repro.experiments import fig02, get_scale
+
+
+def main() -> None:
+    scale = get_scale()
+    print(f"running the 3q TFIM experiment at scale={scale.name!r} ...\n")
+    result = fig02(scale)
+    print(result.rows())
+
+    print("\ninterpretation:")
+    print(
+        f"  - the noisy reference accumulates "
+        f"{result.reference_cnots[-1]} CNOTs by the last timestep and "
+        f"drifts from the ideal curve (mean error "
+        f"{result.reference_error():.4f})"
+    )
+    print(
+        f"  - the best approximate circuits track the ideal curve "
+        f"{result.improvement():.0%} more precisely, using "
+        f"{max(result.best_depth_series())} CNOTs at most"
+    )
+    print(
+        f"  - {result.fraction_beating_reference():.0%} of ALL harvested "
+        "approximations beat the reference (paper Fig. 3)"
+    )
+
+
+if __name__ == "__main__":
+    main()

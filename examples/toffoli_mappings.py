@@ -1,0 +1,51 @@
+"""Toffoli circuits and qubit-mapping sensitivity (paper §6.1, §6.4).
+
+Scores the 4-qubit (3-control) Toffoli and its approximations by
+Jensen-Shannon distance under the Manhattan noise model, then repeats the
+experiment on emulated Toronto hardware for the paper's four manual qubit
+mappings plus the automatic noise-aware mapping.
+
+Run:  python examples/toffoli_mappings.py
+"""
+
+from repro.experiments import fig06, fig15, fig16, fig17, fig18, fig19, get_scale
+from repro.metrics import UNIFORM_NOISE_JS
+
+
+def main() -> None:
+    scale = get_scale()
+
+    print("=== 4q Toffoli, Manhattan noise model (paper Fig. 6) ===")
+    r = fig06(scale)
+    print(r.rows())
+
+    print("\n=== same circuits on emulated Manhattan hardware (Fig. 15) ===")
+    hw = fig15(scale)
+    print(
+        f"reference JS {hw.reference.value:.4f} @ {hw.reference.cnot_count} "
+        f"CNOTs | best approximation {hw.best().value:.4f} @ "
+        f"{hw.best().cnot_count} CNOTs | random-noise floor "
+        f"{UNIFORM_NOISE_JS:.4f}"
+    )
+
+    print("\n=== Toronto calibration report (Fig. 16, excerpt) ===")
+    report = fig16().splitlines()
+    print("\n".join(report[:4] + report[-6:]))
+
+    print("\n=== mapping sensitivity on emulated Toronto (Figs. 17-19) ===")
+    for fig, label in ((fig17, "best manual"), (fig18, "worst manual"), (fig19, "auto level-3")):
+        r = fig(scale)
+        print(
+            f"{label:<12}: ref JS {r.reference.value:.4f}, best approx "
+            f"{r.best().value:.4f}, {r.fraction_better_than_reference():.0%} "
+            "of circuits below reference"
+        )
+
+    print(
+        "\nObservation 9 (paper): mapping quality is not predicted by CNOT "
+        "calibration alone — readout and crosstalk contribute."
+    )
+
+
+if __name__ == "__main__":
+    main()

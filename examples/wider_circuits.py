@@ -1,0 +1,59 @@
+"""Beyond the paper: wider circuits and hardware metrics (§6.5 roadmap).
+
+The paper's future-work section sketches two directions this repository
+implements:
+
+1. **Partitioned approximation** — "breaking a large program into pieces":
+   a 5-qubit TFIM step (beyond QSearch's direct reach) is split into
+   3-qubit blocks, each block is approximated independently, and spliced
+   candidates form a frontier of full-width approximations.
+2. **Quantum volume** — correlating circuit behaviour with "commonly
+   accepted hardware evaluation metrics": the QV protocol runs on the
+   ideal backend and on a noisy device model.
+
+Run:  python examples/wider_circuits.py
+"""
+
+from repro.apps.tfim import TFIMSpec, tfim_step_circuit
+from repro.experiments import IdealBackend, NoiseModelBackend
+from repro.hardware import achieved_quantum_volume, measure_quantum_volume
+from repro.noise import get_device
+from repro.synthesis import PartitionedSynthesizer
+from repro.transpile import to_basis_gates
+
+
+def main() -> None:
+    print("=== partitioned approximation of a 5-qubit TFIM step ===")
+    circuit = to_basis_gates(tfim_step_circuit(TFIMSpec(5), 4))
+    print(f"target: {circuit.num_qubits} qubits, {circuit.cnot_count} CNOTs")
+    synthesizer = PartitionedSynthesizer(
+        max_block_qubits=3,
+        seed=5,
+        synthesizer_options={"max_cnots": 5, "max_nodes": 60, "maxiter": 150},
+    )
+    pool = synthesizer.synthesize(circuit)
+    print("frontier (CNOTs vs HS distance):")
+    for candidate in sorted(pool, key=lambda c: c.cnot_count):
+        print(f"  {candidate.cnot_count:>3} CNOTs  HS {candidate.hs_distance:.4f}")
+
+    print("\n=== quantum volume on the reproduction's backends ===")
+    for label, backend in (
+        ("ideal", IdealBackend()),
+        ("ourense model", NoiseModelBackend(get_device("ourense").noise_model())),
+        (
+            "ourense x10 noise",
+            NoiseModelBackend(get_device("ourense").noise_model().scaled(10.0)),
+        ),
+    ):
+        results = measure_quantum_volume(
+            backend, widths=(2, 3), circuits_per_width=4
+        )
+        hops = {w: round(r.mean_hop, 3) for w, r in results.items()}
+        print(
+            f"{label:<18} mean HOP {hops} -> QV "
+            f"{achieved_quantum_volume(results)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

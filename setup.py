@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build. This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` work; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — reproduction of "Empirical Evaluation of Circuit Approximations
+on Noisy Quantum Devices" (Wilson, Bassman, Mueller, Iancu; SC 2021).
+
+Packages
+--------
+``repro.circuits``
+    Gate/circuit IR, DAG, OpenQASM, standard circuits.
+``repro.linalg``
+    Operators, decompositions, Haar sampling, circuit gradients.
+``repro.sim``
+    Statevector and density-matrix simulators, sampling, observables.
+``repro.noise``
+    Kraus channels, device noise models, the five IBM device snapshots.
+``repro.transpile``
+    Basis translation, layout, routing, optimisation levels 0-3.
+``repro.synthesis``
+    Instrumented QSearch/QFast synthesis and approximate-circuit pools —
+    the paper's core method.
+``repro.metrics``
+    Hilbert-Schmidt / Jensen-Shannon / KL / TVD metrics.
+``repro.apps``
+    TFIM, Grover, multi-control Toffoli workloads.
+``repro.hardware``
+    Emulated IBM Q hardware (drift + crosstalk + shots).
+``repro.experiments``
+    One driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, circuits, experiments, hardware, linalg, metrics, noise, sim, synthesis, transpile
+from .circuits import QuantumCircuit, Gate
+from .linalg import Operator
+from .sim import StatevectorSimulator, DensityMatrixSimulator
+from .noise import NoiseModel, get_device
+from .synthesis import (
+    QSearchSynthesizer,
+    QFastSynthesizer,
+    generate_approximate_circuits,
+    hs_distance,
+)
+from .hardware import FakeHardware
+
+__all__ = [
+    "__version__",
+    "QuantumCircuit",
+    "Gate",
+    "Operator",
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+    "NoiseModel",
+    "get_device",
+    "QSearchSynthesizer",
+    "QFastSynthesizer",
+    "generate_approximate_circuits",
+    "hs_distance",
+    "FakeHardware",
+    "apps",
+    "circuits",
+    "experiments",
+    "hardware",
+    "linalg",
+    "metrics",
+    "noise",
+    "sim",
+    "synthesis",
+    "transpile",
+]

@@ -1,0 +1,55 @@
+"""The paper's three workloads: TFIM, Grover, multi-control Toffoli."""
+
+from .tfim import (
+    tfim_hamiltonian,
+    exact_step_unitary,
+    exact_magnetization,
+    trotter_error,
+    TFIMSpec,
+    tfim_step_circuit,
+    tfim_circuits,
+    ideal_magnetization,
+    PAPER_NUM_STEPS,
+    PAPER_DT_NS,
+)
+from .grover import (
+    grover_circuit,
+    optimal_iterations,
+    success_probability,
+    marked_state_index,
+)
+from .toffoli import (
+    mcx_circuit,
+    mcx_unitary,
+    append_mcx,
+    append_mcz,
+    append_mcu,
+    ToffoliTest,
+    toffoli_test_suite,
+    toffoli_js_score,
+)
+
+__all__ = [
+    "TFIMSpec",
+    "tfim_step_circuit",
+    "tfim_circuits",
+    "ideal_magnetization",
+    "tfim_hamiltonian",
+    "exact_step_unitary",
+    "exact_magnetization",
+    "trotter_error",
+    "PAPER_NUM_STEPS",
+    "PAPER_DT_NS",
+    "grover_circuit",
+    "optimal_iterations",
+    "success_probability",
+    "marked_state_index",
+    "mcx_circuit",
+    "mcx_unitary",
+    "append_mcx",
+    "append_mcz",
+    "append_mcu",
+    "ToffoliTest",
+    "toffoli_test_suite",
+    "toffoli_js_score",
+]

@@ -1,0 +1,226 @@
+"""Multi-control Toffoli (MCX) gates — the paper's third workload.
+
+Provides the ancilla-free reference construction (the paper's "Qiskit's
+multiple-control Toffoli gate without any ancilla bits"): the 6-CNOT
+Toffoli for two controls and the Barenco controlled-square-root recursion
+for more, emitted directly over ``{u3, u1, h, t, cx}``.
+
+Also provides the evaluation harness the paper uses for Figures 6/7/15:
+each circuit runs against a suite of input preparations with known ideal
+outputs and is scored by the mean Jensen-Shannon distance. With the
+default superposition preparation, "random noise" scores
+:data:`~repro.metrics.distributions.UNIFORM_NOISE_JS` (~0.465).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate, gate_matrix
+from ..linalg.unitary import apply_matrix_to_state
+from ..metrics.distributions import jensen_shannon_distance
+from ..sim.statevector import StatevectorSimulator
+from ..transpile.basis import controlled_1q_gates, _ccx_gates
+
+__all__ = [
+    "mcx_circuit",
+    "mcx_unitary",
+    "append_mcx",
+    "append_mcz",
+    "append_mcu",
+    "ToffoliTest",
+    "toffoli_test_suite",
+    "toffoli_js_score",
+]
+
+
+def _principal_sqrt(u: np.ndarray) -> np.ndarray:
+    """Principal square root of a 2x2 unitary (eigenphases halved)."""
+    w, v = np.linalg.eig(u)
+    sqrt_w = np.exp(0.5j * np.angle(w)) * np.sqrt(np.abs(w))
+    return (v * sqrt_w) @ np.linalg.inv(v)
+
+
+def append_mcu(
+    qc: QuantumCircuit,
+    matrix: np.ndarray,
+    controls: Sequence[int],
+    target: int,
+) -> None:
+    """Append a multi-controlled 1q unitary via the Barenco recursion.
+
+    ``C^n(U) = C-V(c_n, t) . C^{n-1}X(c_1..c_{n-1}; c_n) . C-V^+(c_n, t)
+    . C^{n-1}X(c_1..c_{n-1}; c_n) . C^{n-1}(V)(c_1..c_{n-1}; t)`` with
+    ``V^2 = U`` — no ancilla qubits, quadratic CNOT growth.
+    """
+    controls = list(controls)
+    if not controls:
+        for gate in _u3_like(matrix, target):
+            qc.append(gate)
+        return
+    if len(controls) == 1:
+        for gate in controlled_1q_gates(matrix, controls[0], target):
+            qc.append(gate)
+        return
+    v = _principal_sqrt(matrix)
+    v_dg = v.conj().T
+    last = controls[-1]
+    rest = controls[:-1]
+    for gate in controlled_1q_gates(v, last, target):
+        qc.append(gate)
+    append_mcx(qc, rest, last)
+    for gate in controlled_1q_gates(v_dg, last, target):
+        qc.append(gate)
+    append_mcx(qc, rest, last)
+    append_mcu(qc, v, rest, target)
+
+
+def _u3_like(matrix: np.ndarray, qubit: int) -> List[Gate]:
+    from ..linalg.decompositions import u3_params_from_unitary
+
+    theta, phi, lam = u3_params_from_unitary(matrix)
+    return [Gate("u3", (qubit,), (theta, phi, lam))]
+
+
+_X = gate_matrix("x")
+_Z = gate_matrix("z")
+
+
+def append_mcx(qc: QuantumCircuit, controls: Sequence[int], target: int) -> None:
+    """Append an ancilla-free multi-controlled X."""
+    controls = list(controls)
+    if not controls:
+        qc.x(target)
+    elif len(controls) == 1:
+        qc.cx(controls[0], target)
+    elif len(controls) == 2:
+        for gate in _ccx_gates(controls[0], controls[1], target):
+            qc.append(gate)
+    else:
+        append_mcu(qc, _X, controls, target)
+
+
+def append_mcz(qc: QuantumCircuit, qubits: Sequence[int]) -> None:
+    """Append a multi-controlled Z (symmetric; last qubit plays target)."""
+    qubits = list(qubits)
+    if len(qubits) == 1:
+        qc.z(qubits[0])
+        return
+    append_mcu(qc, _Z, qubits[:-1], qubits[-1])
+
+
+def mcx_circuit(num_controls: int) -> QuantumCircuit:
+    """The reference MCX circuit: controls ``0..k-1``, target ``k``.
+
+    This mirrors Qiskit's no-ancilla ``mcx`` role in the paper: the
+    hand-derived discrete reference the approximate circuits compete with.
+    """
+    if num_controls < 1:
+        raise ValueError("need at least one control")
+    n = num_controls + 1
+    qc = QuantumCircuit(n, name=f"mcx{num_controls}")
+    append_mcx(qc, list(range(num_controls)), num_controls)
+    return qc
+
+
+def mcx_unitary(num_controls: int) -> np.ndarray:
+    """The exact MCX permutation matrix (synthesis target)."""
+    n = num_controls + 1
+    dim = 2**n
+    u = np.eye(dim, dtype=np.complex128)
+    mask = (1 << num_controls) - 1
+    a = mask                      # controls set, target 0
+    b = mask | (1 << num_controls)  # controls set, target 1
+    u[a, a] = u[b, b] = 0.0
+    u[a, b] = u[b, a] = 1.0
+    return u
+
+
+# ---------------------------------------------------------------------------
+# Evaluation harness (paper §6.1: "We test each approximate circuit for a
+# subset of such functions and parameters ... The JS distance provides a
+# composite metric")
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ToffoliTest:
+    """One test case: an input preparation plus its ideal output."""
+
+    name: str
+    prep: QuantumCircuit
+    ideal: np.ndarray
+
+
+def _ideal_output(prep: QuantumCircuit, num_controls: int) -> np.ndarray:
+    """Ideal distribution: prep then the exact MCX unitary."""
+    sim = StatevectorSimulator()
+    state = sim.run(prep).data
+    n = prep.num_qubits
+    out = mcx_unitary(num_controls) @ state
+    return np.abs(out) ** 2
+
+
+def toffoli_test_suite(
+    num_controls: int,
+    *,
+    include_basis_inputs: bool = False,
+) -> List[ToffoliTest]:
+    """The input-function suite used to score Toffoli circuits.
+
+    The default (and the suite behind the figures' 0.465 noise floor) puts
+    every control in uniform superposition with the target at ``|0>``.
+    ``include_basis_inputs`` adds the all-ones and all-zeros computational
+    inputs for a stricter composite score.
+    """
+    n = num_controls + 1
+    tests: List[ToffoliTest] = []
+
+    sup = QuantumCircuit(n, name="prep_superposition")
+    for q in range(num_controls):
+        sup.h(q)
+    tests.append(ToffoliTest("superposition", sup, _ideal_output(sup, num_controls)))
+
+    if include_basis_inputs:
+        ones = QuantumCircuit(n, name="prep_all_ones")
+        for q in range(num_controls):
+            ones.x(q)
+        tests.append(ToffoliTest("all_ones", ones, _ideal_output(ones, num_controls)))
+
+        zeros = QuantumCircuit(n, name="prep_all_zeros")
+        tests.append(
+            ToffoliTest("all_zeros", zeros, _ideal_output(zeros, num_controls))
+        )
+
+        half = QuantumCircuit(n, name="prep_half")
+        for q in range(0, num_controls, 2):
+            half.x(q)
+        for q in range(1, num_controls, 2):
+            half.h(q)
+        tests.append(ToffoliTest("half", half, _ideal_output(half, num_controls)))
+
+    return tests
+
+
+def toffoli_js_score(
+    run_distribution: Callable[[QuantumCircuit], np.ndarray],
+    candidate: QuantumCircuit,
+    tests: Sequence[ToffoliTest],
+) -> float:
+    """Mean JS distance of a candidate MCX circuit over a test suite.
+
+    ``run_distribution`` executes a full circuit (prep + candidate) on the
+    backend under study and returns the measured distribution.
+    """
+    if not tests:
+        raise ValueError("empty test suite")
+    scores = []
+    for test in tests:
+        full = test.prep.copy(name=f"{candidate.name}+{test.name}")
+        full.compose(candidate)
+        measured = run_distribution(full)
+        scores.append(jensen_shannon_distance(test.ideal, measured))
+    return float(np.mean(scores))

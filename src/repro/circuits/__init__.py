@@ -1,0 +1,49 @@
+"""Quantum circuit intermediate representation.
+
+Gates, circuits, a scheduling DAG, OpenQASM serialisation and a small
+standard-circuit library.
+"""
+
+from .gates import Gate, GateDefinition, GATE_REGISTRY, gate_matrix, standard_gate, U3Gate, CXGate
+from .circuit import QuantumCircuit
+from .dag import CircuitDAG
+from .qasm import to_qasm, from_qasm
+from .parameters import Parameter, ParameterExpression, bind_parameters, free_parameters
+from .library import (
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+    random_u3_cx_circuit,
+    basis_state_preparation,
+    bell_pair,
+    w_state_circuit,
+    hardware_efficient_ansatz,
+)
+from .drawing import draw_circuit
+
+__all__ = [
+    "Gate",
+    "GateDefinition",
+    "GATE_REGISTRY",
+    "gate_matrix",
+    "standard_gate",
+    "U3Gate",
+    "CXGate",
+    "QuantumCircuit",
+    "CircuitDAG",
+    "to_qasm",
+    "from_qasm",
+    "Parameter",
+    "ParameterExpression",
+    "bind_parameters",
+    "free_parameters",
+    "ghz_circuit",
+    "qft_circuit",
+    "random_circuit",
+    "random_u3_cx_circuit",
+    "basis_state_preparation",
+    "bell_pair",
+    "w_state_circuit",
+    "hardware_efficient_ansatz",
+    "draw_circuit",
+]

@@ -1,0 +1,343 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of :class:`~repro.circuits.gates.Gate`
+instances over ``num_qubits`` qubits, with builder methods mirroring the
+Qiskit surface the paper uses (``h``, ``cx``, ``u3``, ``mcx`` via
+:mod:`repro.apps.toffoli`, ...).
+
+The quantities the paper measures live here as first-class properties:
+``cnot_count`` (the paper's universal x-axis), ``depth`` and ``duration``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..linalg.unitary import apply_matrix_to_state, is_unitary
+from .gates import Gate, GATE_REGISTRY, NON_UNITARY
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered gate list over a fixed number of qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit.
+    name:
+        Optional human-readable label (propagated through transpilation).
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise ValueError("circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, idx):
+        return self._gates[idx]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, QuantumCircuit)
+            and self.num_qubits == other.num_qubits
+            and self._gates == other._gates
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, tuple(self._gates)))
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating its qubits against the circuit width."""
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name!r} addresses qubit {q} outside "
+                    f"0..{self.num_qubits - 1}"
+                )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        for g in gates:
+            self.append(g)
+        return self
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None
+    ) -> "QuantumCircuit":
+        """Append another circuit, optionally remapping its qubits.
+
+        ``qubits[i]`` names the qubit of ``self`` that plays the role of
+        qubit ``i`` of ``other``.
+        """
+        if qubits is None:
+            if other.num_qubits > self.num_qubits:
+                raise ValueError("composed circuit is wider than target")
+            qubits = range(other.num_qubits)
+        mapping = {i: q for i, q in enumerate(qubits)}
+        for g in other:
+            self.append(Gate(g.name, tuple(mapping[q] for q in g.qubits), g.params))
+        return self
+
+    # ------------------------------------------------------------------
+    # Builder methods (Qiskit-flavoured)
+    # ------------------------------------------------------------------
+    def _add(self, name: str, qubits: Tuple[int, ...], params: Tuple[float, ...] = ()):
+        return self.append(Gate(name, qubits, params))
+
+    def id(self, q: int):
+        return self._add("id", (q,))
+
+    def delay(self, duration: float, q: int):
+        """Explicit idle period (ns) — the hook for idle decoherence."""
+        return self._add("delay", (q,), (duration,))
+
+    def x(self, q: int):
+        return self._add("x", (q,))
+
+    def y(self, q: int):
+        return self._add("y", (q,))
+
+    def z(self, q: int):
+        return self._add("z", (q,))
+
+    def h(self, q: int):
+        return self._add("h", (q,))
+
+    def s(self, q: int):
+        return self._add("s", (q,))
+
+    def sdg(self, q: int):
+        return self._add("sdg", (q,))
+
+    def t(self, q: int):
+        return self._add("t", (q,))
+
+    def tdg(self, q: int):
+        return self._add("tdg", (q,))
+
+    def sx(self, q: int):
+        return self._add("sx", (q,))
+
+    def u1(self, lam: float, q: int):
+        return self._add("u1", (q,), (lam,))
+
+    def u2(self, phi: float, lam: float, q: int):
+        return self._add("u2", (q,), (phi, lam))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int):
+        return self._add("u3", (q,), (theta, phi, lam))
+
+    def rx(self, theta: float, q: int):
+        return self._add("rx", (q,), (theta,))
+
+    def ry(self, theta: float, q: int):
+        return self._add("ry", (q,), (theta,))
+
+    def rz(self, theta: float, q: int):
+        return self._add("rz", (q,), (theta,))
+
+    def cx(self, control: int, target: int):
+        return self._add("cx", (control, target))
+
+    def cz(self, a: int, b: int):
+        return self._add("cz", (a, b))
+
+    def swap(self, a: int, b: int):
+        return self._add("swap", (a, b))
+
+    def iswap(self, a: int, b: int):
+        return self._add("iswap", (a, b))
+
+    def rzz(self, theta: float, a: int, b: int):
+        return self._add("rzz", (a, b), (theta,))
+
+    def rxx(self, theta: float, a: int, b: int):
+        return self._add("rxx", (a, b), (theta,))
+
+    def crx(self, theta: float, control: int, target: int):
+        return self._add("crx", (control, target), (theta,))
+
+    def cu1(self, lam: float, control: int, target: int):
+        return self._add("cu1", (control, target), (lam,))
+
+    def ccx(self, c1: int, c2: int, target: int):
+        return self._add("ccx", (c1, c2, target))
+
+    def cswap(self, control: int, a: int, b: int):
+        return self._add("cswap", (control, a, b))
+
+    def barrier(self, *qubits: int):
+        qs = qubits if qubits else tuple(range(self.num_qubits))
+        return self.append(Gate("barrier", qs))
+
+    def measure_all(self):
+        return self.append(Gate("measure", tuple(range(self.num_qubits))))
+
+    # ------------------------------------------------------------------
+    # Metrics (the paper's x-axes)
+    # ------------------------------------------------------------------
+    @property
+    def cnot_count(self) -> int:
+        """Number of two-qubit entangling gates — the paper's CNOT count."""
+        return sum(1 for g in self._gates if g.is_unitary and g.is_entangler())
+
+    @property
+    def gate_count(self) -> int:
+        return sum(1 for g in self._gates if g.is_unitary)
+
+    def count_ops(self) -> dict:
+        """Histogram of gate names, like Qiskit's ``count_ops``."""
+        out: dict = {}
+        for g in self._gates:
+            out[g.name] = out.get(g.name, 0) + 1
+        return out
+
+    def depth(self, *, two_qubit_only: bool = False) -> int:
+        """Circuit depth: longest path in the scheduling DAG.
+
+        With ``two_qubit_only`` only entangling gates add to the depth,
+        which matches the paper's "CNOT depth".
+        """
+        level = [0] * self.num_qubits
+        for g in self._gates:
+            if not g.is_unitary or g.name == "barrier":
+                continue
+            weight = 1 if (not two_qubit_only or g.is_entangler()) else 0
+            start = max(level[q] for q in g.qubits)
+            for q in g.qubits:
+                level[q] = start + weight
+        return max(level) if level else 0
+
+    def duration(self, gate_times: Optional[dict] = None) -> float:
+        """Schedule length in nanoseconds under an ASAP schedule.
+
+        ``gate_times`` maps gate name -> duration; defaults to typical IBM
+        values (1q: 35 ns, 2q: 300 ns, measure: 1000 ns).
+        """
+        times = {"measure": 1000.0, "barrier": 0.0}
+        finish = [0.0] * self.num_qubits
+        for g in self._gates:
+            if g.name == "barrier":
+                t = max(finish[q] for q in g.qubits)
+                for q in g.qubits:
+                    finish[q] = t
+                continue
+            if g.name == "delay":
+                dt = g.params[0]
+            elif gate_times and g.name in gate_times:
+                dt = gate_times[g.name]
+            elif g.name in times:
+                dt = times[g.name]
+            else:
+                dt = 35.0 if g.num_qubits == 1 else 300.0
+            start = max(finish[q] for q in g.qubits)
+            for q in g.qubits:
+                finish[q] = start + dt
+        return max(finish) if finish else 0.0
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """The ``(2**n, 2**n)`` unitary implemented by the circuit.
+
+        Raises if the circuit contains measurements.
+        """
+        dim = 2**self.num_qubits
+        u = np.eye(dim, dtype=np.complex128)
+        for g in self._gates:
+            if g.name == "barrier":
+                continue
+            if not g.is_unitary:
+                raise ValueError(
+                    f"circuit contains non-unitary gate {g.name!r}; "
+                    "remove measurements before requesting the unitary"
+                )
+            u = apply_matrix_to_state(g.matrix(), u, g.qubits, self.num_qubits)
+        return u
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit (reversed gate order, each gate inverted)."""
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        for g in reversed(self._gates):
+            if g.name == "barrier":
+                inv.append(g)
+                continue
+            inv.append(g.inverse())
+        return inv
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, name=name or self.name)
+        out._gates = list(self._gates)
+        return out
+
+    def remap(self, mapping: Sequence[int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a copy with qubit ``i`` relabelled to ``mapping[i]``.
+
+        Used by layout selection: a virtual circuit on ``0..k-1`` becomes a
+        physical circuit over a device's qubits.
+        """
+        width = num_qubits if num_qubits is not None else max(mapping) + 1
+        out = QuantumCircuit(width, name=self.name)
+        for g in self._gates:
+            out.append(Gate(g.name, tuple(mapping[q] for q in g.qubits), g.params))
+        return out
+
+    def without_measurements(self) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out._gates = [g for g in self._gates if g.name not in NON_UNITARY]
+        return out
+
+    def has_measurements(self) -> bool:
+        return any(g.name == "measure" for g in self._gates)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit({self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._gates)}, cnots={self.cnot_count})"
+        )
+
+    def draw(self, style: str = "art") -> str:
+        """Plain-text rendering.
+
+        ``style="art"`` (default) draws wires/moments like Qiskit's text
+        drawer; ``style="list"`` prints one gate per line.
+        """
+        if style == "art":
+            from .drawing import draw_circuit
+
+            return draw_circuit(self)
+        if style != "list":
+            raise ValueError(f"unknown draw style {style!r}")
+        lines = [f"{self.name}: {self.num_qubits} qubits"]
+        for g in self._gates:
+            lines.append(f"  {g!r}")
+        return "\n".join(lines)

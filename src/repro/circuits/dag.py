@@ -1,0 +1,85 @@
+"""Dependency-DAG view of a circuit, used by the optimisation passes.
+
+Nodes are gate indices; an edge ``i -> j`` means gate ``j`` consumes a qubit
+that gate ``i`` was the most recent writer of. The DAG exposes the queries
+the transpiler passes need: per-qubit gate chains, direct successors on a
+given qubit, and topological layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["CircuitDAG"]
+
+
+class CircuitDAG:
+    """A scheduling DAG over the gates of a :class:`QuantumCircuit`."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.graph = nx.DiGraph()
+        last_writer: Dict[int, int] = {}
+        for idx, gate in enumerate(circuit):
+            self.graph.add_node(idx, gate=gate)
+            for q in gate.qubits:
+                if q in last_writer:
+                    self.graph.add_edge(last_writer[q], idx, qubit=q)
+                last_writer[q] = idx
+
+    def gate(self, node: int) -> Gate:
+        return self.graph.nodes[node]["gate"]
+
+    def successors_on_qubit(self, node: int, qubit: int) -> Optional[int]:
+        """The next gate after ``node`` touching ``qubit``, if any."""
+        for _u, v, data in self.graph.out_edges(node, data=True):
+            if data["qubit"] == qubit:
+                return v
+        return None
+
+    def predecessors_on_qubit(self, node: int, qubit: int) -> Optional[int]:
+        for u, _v, data in self.graph.in_edges(node, data=True):
+            if data["qubit"] == qubit:
+                return u
+        return None
+
+    def topological_gates(self) -> List[Gate]:
+        return [self.gate(i) for i in nx.topological_sort(self.graph)]
+
+    def layers(self) -> List[List[Gate]]:
+        """ASAP layers: each inner list holds gates that can run in parallel."""
+        depth: Dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            depth[node] = 1 + max((depth[p] for p in preds), default=-1)
+        if not depth:
+            return []
+        out: List[List[Gate]] = [[] for _ in range(max(depth.values()) + 1)]
+        for node, d in depth.items():
+            out[d].append(self.gate(node))
+        return out
+
+    def longest_path_length(self, *, two_qubit_only: bool = False) -> int:
+        """Critical-path length; with ``two_qubit_only`` count only entanglers."""
+        best: Dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            g = self.gate(node)
+            w = 1
+            if g.name == "barrier" or not g.is_unitary:
+                w = 0
+            elif two_qubit_only and not g.is_entangler():
+                w = 0
+            preds = list(self.graph.predecessors(node))
+            best[node] = w + max((best[p] for p in preds), default=0)
+        return max(best.values(), default=0)
+
+    def to_circuit(self) -> QuantumCircuit:
+        out = QuantumCircuit(self.num_qubits)
+        for gate in self.topological_gates():
+            out.append(gate)
+        return out

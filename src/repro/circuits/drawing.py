@@ -1,0 +1,108 @@
+"""Plain-text circuit rendering.
+
+A column-per-moment ASCII drawing in the spirit of Qiskit's text drawer:
+one wire per qubit, gates stacked left-to-right in ASAP moments, vertical
+bars for multi-qubit gates.
+
+Example (GHZ on 3 qubits)::
+
+    q0: ─[H]──●───────
+    q1: ──────X───●───
+    q2: ──────────X───
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["draw_circuit"]
+
+_WIRE = "─"
+_VERT = "│"
+
+
+def _gate_symbol(gate: Gate, qubit: int) -> str:
+    """The cell label of ``gate`` on ``qubit``."""
+    name = gate.name
+    if name == "cx":
+        return "●" if qubit == gate.qubits[0] else "X"
+    if name == "cz":
+        return "●"
+    if name == "swap":
+        return "x"
+    if name == "ccx":
+        return "●" if qubit in gate.qubits[:2] else "X"
+    if name == "cswap":
+        return "●" if qubit == gate.qubits[0] else "x"
+    if name in ("crx", "cu1"):
+        label = f"{name.upper()}({gate.params[0]:.2g})"
+        return "●" if qubit == gate.qubits[0] else f"[{label}]"
+    if name == "measure":
+        return "[M]"
+    if name == "barrier":
+        return "░"
+    if name == "delay":
+        return f"[idle {gate.params[0]:.3g}]"
+    if gate.params:
+        args = ",".join(
+            f"{p:.2g}" if isinstance(p, float) else "θ" for p in gate.params
+        )
+        return f"[{name.upper()}({args})]"
+    return f"[{name.upper()}]"
+
+
+def _moments(circuit: QuantumCircuit) -> List[List[Gate]]:
+    """ASAP moments: gates grouped into non-overlapping columns."""
+    level: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    moments: List[List[Gate]] = []
+    for gate in circuit:
+        qubits = gate.qubits if gate.qubits else tuple(range(circuit.num_qubits))
+        start = max(level[q] for q in qubits)
+        while len(moments) <= start:
+            moments.append([])
+        moments[start].append(gate)
+        for q in qubits:
+            level[q] = start + 1
+    return moments
+
+
+def draw_circuit(circuit: QuantumCircuit, *, max_width: Optional[int] = None) -> str:
+    """Render a circuit as ASCII art; one line per qubit wire.
+
+    ``max_width`` truncates long circuits with an ellipsis column.
+    """
+    n = circuit.num_qubits
+    moments = _moments(circuit)
+    label_width = len(f"q{n - 1}: ")
+    rows = [f"q{q}: ".ljust(label_width) for q in range(n)]
+
+    for moment in moments:
+        cells = {q: None for q in range(n)}
+        spans = []  # (min_qubit, max_qubit) of multi-qubit gates
+        for gate in moment:
+            for q in gate.qubits:
+                cells[q] = _gate_symbol(gate, q)
+            if len(gate.qubits) > 1 and gate.name != "measure":
+                spans.append((min(gate.qubits), max(gate.qubits)))
+        width = max(
+            (len(c) for c in cells.values() if c is not None), default=1
+        )
+        for q in range(n):
+            cell = cells[q]
+            if cell is None:
+                in_span = any(lo < q < hi for lo, hi in spans)
+                cell = _VERT if in_span else _WIRE
+                body = cell.center(width, _WIRE if cell == _WIRE else " ")
+                # keep the vertical connector visible on wire background
+                if cell == _VERT:
+                    body = _VERT.center(width, _WIRE)
+            else:
+                body = cell.center(width, _WIRE)
+            rows[q] += _WIRE + body + _WIRE
+        if max_width and len(rows[0]) > max_width:
+            rows = [r[:max_width] + "…" for r in rows]
+            break
+    return "\n".join(rows)

@@ -1,0 +1,471 @@
+"""Gate definitions and their unitary matrices.
+
+The gate set mirrors the subset of Qiskit's standard library used by the
+paper: the IBM physical basis ``{U1, U2, U3, CX}``, convenience Clifford
+gates, parametric rotations used by the TFIM circuit generator, and the
+multi-qubit gates (``CCX``, ``CSWAP``) used by the applications.
+
+Conventions
+-----------
+* Qubit 0 is the least-significant bit of a basis-state index
+  (little-endian, matching Qiskit).
+* Matrices for multi-qubit gates are given in that same convention: for a
+  two-qubit gate acting on ``(q0, q1)``, the basis ordering of the returned
+  4x4 matrix is ``|q1 q0>`` = ``|00>, |01>, |10>, |11>`` where the *right*
+  bit is ``q0``.
+* All matrices are ``complex128`` and freshly allocated (callers may mutate).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "GateDefinition",
+    "GATE_REGISTRY",
+    "register_gate",
+    "gate_matrix",
+    "standard_gate",
+    "U3Gate",
+    "CXGate",
+]
+
+#: Names of gates that act on classical data / have no unitary.
+NON_UNITARY = frozenset({"measure", "barrier", "reset"})
+
+#: Gate names counted as "CNOT" for depth metrics (the paper counts CNOTs).
+TWO_QUBIT_ENTANGLERS = frozenset({"cx", "cz", "swap", "iswap", "rzz", "rxx"})
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """Static description of a gate type.
+
+    Attributes
+    ----------
+    name:
+        Lower-case mnemonic (``"u3"``, ``"cx"`` ...).
+    num_qubits:
+        Arity of the gate.
+    num_params:
+        Number of real parameters.
+    matrix_fn:
+        Callable mapping a parameter tuple to the gate unitary.
+    self_inverse:
+        Whether ``G @ G == I`` (used by cancellation passes).
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[[Tuple[float, ...]], np.ndarray]
+    self_inverse: bool = False
+
+
+GATE_REGISTRY: Dict[str, GateDefinition] = {}
+
+
+def _is_symbolic(value) -> bool:
+    """True for unbound symbolic parameters (duck-typed to avoid cycles)."""
+    return hasattr(value, "bind") and hasattr(value, "parameter")
+
+
+def register_gate(definition: GateDefinition) -> GateDefinition:
+    """Add a gate definition to the global registry (idempotent by name)."""
+    GATE_REGISTRY[definition.name] = definition
+    return definition
+
+
+def _mat(rows) -> np.ndarray:
+    return np.array(rows, dtype=np.complex128)
+
+
+# ---------------------------------------------------------------------------
+# One-qubit gate matrices
+# ---------------------------------------------------------------------------
+
+def u3_matrix(params: Sequence[float]) -> np.ndarray:
+    """The generic one-qubit rotation U3(theta, phi, lam)."""
+    theta, phi, lam = params
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return _mat(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def u2_matrix(params: Sequence[float]) -> np.ndarray:
+    phi, lam = params
+    return u3_matrix((math.pi / 2.0, phi, lam))
+
+
+def u1_matrix(params: Sequence[float]) -> np.ndarray:
+    (lam,) = params
+    return _mat([[1.0, 0.0], [0.0, cmath.exp(1j * lam)]])
+
+
+def rx_matrix(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return _mat([[c, -1j * s], [-1j * s, c]])
+
+
+def ry_matrix(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return _mat([[c, -s], [s, c]])
+
+
+def rz_matrix(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    e = cmath.exp(-1j * theta / 2.0)
+    return _mat([[e, 0.0], [0.0, e.conjugate()]])
+
+
+_SQRT2INV = 1.0 / math.sqrt(2.0)
+
+
+def _h_matrix(_params) -> np.ndarray:
+    return _mat([[_SQRT2INV, _SQRT2INV], [_SQRT2INV, -_SQRT2INV]])
+
+
+def _x_matrix(_params) -> np.ndarray:
+    return _mat([[0.0, 1.0], [1.0, 0.0]])
+
+
+def _y_matrix(_params) -> np.ndarray:
+    return _mat([[0.0, -1j], [1j, 0.0]])
+
+
+def _z_matrix(_params) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, -1.0]])
+
+
+def _s_matrix(_params) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, 1j]])
+
+
+def _sdg_matrix(_params) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, -1j]])
+
+
+def _t_matrix(_params) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, cmath.exp(1j * math.pi / 4.0)]])
+
+
+def _tdg_matrix(_params) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, cmath.exp(-1j * math.pi / 4.0)]])
+
+
+def _sx_matrix(_params) -> np.ndarray:
+    return 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+
+
+def _id_matrix(_params) -> np.ndarray:
+    return _mat([[1.0, 0.0], [0.0, 1.0]])
+
+
+def _delay_matrix(params: Sequence[float]) -> np.ndarray:
+    """Identity; the parameter is the idle duration in ns (noise hooks on it)."""
+    return _mat([[1.0, 0.0], [0.0, 1.0]])
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit gate matrices (little-endian: right bit is the first qubit)
+# ---------------------------------------------------------------------------
+
+def _cx_matrix(_params) -> np.ndarray:
+    # Control = first qubit (q0, low bit), target = second qubit (q1).
+    # |q1 q0>: 00 -> 00, 01 -> 11, 10 -> 10, 11 -> 01
+    return _mat(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+        ]
+    )
+
+
+def _cz_matrix(_params) -> np.ndarray:
+    return _mat(np.diag([1.0, 1.0, 1.0, -1.0]))
+
+
+def _swap_matrix(_params) -> np.ndarray:
+    return _mat(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    )
+
+
+def _iswap_matrix(_params) -> np.ndarray:
+    return _mat(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1j, 0],
+            [0, 1j, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    )
+
+
+def rzz_matrix(params: Sequence[float]) -> np.ndarray:
+    """exp(-i theta/2 Z⊗Z) — the native TFIM Ising coupling."""
+    (theta,) = params
+    e = cmath.exp(-1j * theta / 2.0)
+    ec = e.conjugate()
+    return _mat(np.diag([e, ec, ec, e]))
+
+
+def rxx_matrix(params: Sequence[float]) -> np.ndarray:
+    """exp(-i theta/2 X⊗X)."""
+    (theta,) = params
+    c = math.cos(theta / 2.0)
+    s = -1j * math.sin(theta / 2.0)
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = m[1, 1] = m[2, 2] = m[3, 3] = c
+    m[0, 3] = m[3, 0] = s
+    m[1, 2] = m[2, 1] = s
+    return m
+
+
+def crx_matrix(params: Sequence[float]) -> np.ndarray:
+    """Controlled-RX; control = first qubit (low bit)."""
+    (theta,) = params
+    rx = rx_matrix((theta,))
+    m = np.eye(4, dtype=np.complex128)
+    # Control is bit 0 => states |q1 q0> with q0 = 1 are indices 1 and 3.
+    m[1, 1] = rx[0, 0]
+    m[1, 3] = rx[0, 1]
+    m[3, 1] = rx[1, 0]
+    m[3, 3] = rx[1, 1]
+    return m
+
+
+def cu1_matrix(params: Sequence[float]) -> np.ndarray:
+    """Controlled phase gate; symmetric in its qubits."""
+    (lam,) = params
+    return _mat(np.diag([1.0, 1.0, 1.0, cmath.exp(1j * lam)]))
+
+
+# ---------------------------------------------------------------------------
+# Three-qubit gate matrices
+# ---------------------------------------------------------------------------
+
+def _ccx_matrix(_params) -> np.ndarray:
+    """Toffoli; controls = qubits 0 and 1 (low bits), target = qubit 2."""
+    m = np.eye(8, dtype=np.complex128)
+    # states |q2 q1 q0>; control bits q0=q1=1 -> indices 3 (q2=0) and 7 (q2=1)
+    m[3, 3] = 0.0
+    m[7, 7] = 0.0
+    m[3, 7] = 1.0
+    m[7, 3] = 1.0
+    return m
+
+
+def _cswap_matrix(_params) -> np.ndarray:
+    """Fredkin; control = qubit 0 (low bit), swaps qubits 1 and 2."""
+    m = np.eye(8, dtype=np.complex128)
+    # control q0 = 1 and q1 != q2: |q2 q1 q0> = |011> (3) <-> |101> (5)
+    m[3, 3] = 0.0
+    m[5, 5] = 0.0
+    m[3, 5] = 1.0
+    m[5, 3] = 1.0
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Registry population
+# ---------------------------------------------------------------------------
+
+for _name, _nq, _np_, _fn, _self_inv in [
+    ("id", 1, 0, _id_matrix, True),
+    ("delay", 1, 1, _delay_matrix, False),
+    ("x", 1, 0, _x_matrix, True),
+    ("y", 1, 0, _y_matrix, True),
+    ("z", 1, 0, _z_matrix, True),
+    ("h", 1, 0, _h_matrix, True),
+    ("s", 1, 0, _s_matrix, False),
+    ("sdg", 1, 0, _sdg_matrix, False),
+    ("t", 1, 0, _t_matrix, False),
+    ("tdg", 1, 0, _tdg_matrix, False),
+    ("sx", 1, 0, _sx_matrix, False),
+    ("u1", 1, 1, u1_matrix, False),
+    ("u2", 1, 2, u2_matrix, False),
+    ("u3", 1, 3, u3_matrix, False),
+    ("rx", 1, 1, rx_matrix, False),
+    ("ry", 1, 1, ry_matrix, False),
+    ("rz", 1, 1, rz_matrix, False),
+    ("cx", 2, 0, _cx_matrix, True),
+    ("cz", 2, 0, _cz_matrix, True),
+    ("swap", 2, 0, _swap_matrix, True),
+    ("iswap", 2, 0, _iswap_matrix, False),
+    ("rzz", 2, 1, rzz_matrix, False),
+    ("rxx", 2, 1, rxx_matrix, False),
+    ("crx", 2, 1, crx_matrix, False),
+    ("cu1", 2, 1, cu1_matrix, False),
+    ("ccx", 3, 0, _ccx_matrix, True),
+    ("cswap", 3, 0, _cswap_matrix, True),
+]:
+    register_gate(
+        GateDefinition(
+            name=_name,
+            num_qubits=_nq,
+            num_params=_np_,
+            matrix_fn=_fn,
+            self_inverse=_self_inv,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate instance: a registered gate type applied to specific qubits.
+
+    ``Gate`` is immutable and hashable so circuits can be deduplicated and
+    used as dictionary keys by the synthesis cache.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.name not in NON_UNITARY:
+            definition = GATE_REGISTRY.get(self.name)
+            if definition is None:
+                raise KeyError(f"unknown gate {self.name!r}")
+            if len(self.qubits) != definition.num_qubits:
+                raise ValueError(
+                    f"gate {self.name!r} expects {definition.num_qubits} qubits, "
+                    f"got {len(self.qubits)}"
+                )
+            if len(self.params) != definition.num_params:
+                raise ValueError(
+                    f"gate {self.name!r} expects {definition.num_params} params, "
+                    f"got {len(self.params)}"
+                )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self.name!r}: {self.qubits}")
+        # Freeze numeric params as plain floats for hashing stability;
+        # symbolic ParameterExpression entries pass through unchanged and
+        # are resolved by repro.circuits.parameters.bind_parameters.
+        object.__setattr__(
+            self,
+            "params",
+            tuple(
+                p if _is_symbolic(p) else float(p) for p in self.params
+            ),
+        )
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True when any parameter is still a symbolic expression."""
+        return any(_is_symbolic(p) for p in self.params)
+
+    @property
+    def definition(self) -> GateDefinition:
+        return GATE_REGISTRY[self.name]
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_unitary(self) -> bool:
+        return self.name not in NON_UNITARY
+
+    def matrix(self) -> np.ndarray:
+        """Return the gate unitary in the little-endian local basis."""
+        if not self.is_unitary:
+            raise ValueError(f"gate {self.name!r} has no unitary matrix")
+        if self.is_parameterized:
+            raise TypeError(
+                f"gate {self.name!r} has unbound symbolic parameters; "
+                "bind them with repro.circuits.parameters.bind_parameters"
+            )
+        return self.definition.matrix_fn(self.params)
+
+    def inverse(self) -> "Gate":
+        """Return a gate whose matrix is the adjoint of this one.
+
+        Parametric standard gates invert by parameter negation; self-inverse
+        gates return themselves; the remaining fixed gates map to their
+        registered adjoints.
+        """
+        if not self.is_unitary:
+            raise ValueError(f"cannot invert non-unitary gate {self.name!r}")
+        if self.definition.self_inverse:
+            return self
+        if self.name == "delay":
+            return self  # identity with a duration tag
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return Gate("u3", self.qubits, (-theta, -lam, -phi))
+        if self.name == "u2":
+            phi, lam = self.params
+            return Gate("u3", self.qubits, (-math.pi / 2.0, -lam, -phi))
+        if self.name in ("u1", "cu1"):
+            return Gate(self.name, self.qubits, (-self.params[0],))
+        if self.name in ("rx", "ry", "rz", "rzz", "rxx", "crx"):
+            return Gate(self.name, self.qubits, (-self.params[0],))
+        adjoints = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        if self.name in adjoints:
+            return Gate(adjoints[self.name], self.qubits)
+        if self.name == "sx":
+            # sx = e^{i pi/4} Rx(pi/2), so sx^+ = Rx(-pi/2) up to phase.
+            return Gate("rx", self.qubits, (-math.pi / 2.0,))
+        if self.name == "iswap":
+            raise NotImplementedError("iswap inverse is not a registered gate")
+        raise NotImplementedError(f"no inverse rule for gate {self.name!r}")
+
+    def is_entangler(self) -> bool:
+        """True for the two-qubit gates the paper counts as "CNOTs"."""
+        return self.name in TWO_QUBIT_ENTANGLERS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.params:
+            p = ", ".join(f"{v:.4g}" for v in self.params)
+            return f"{self.name}({p}) q{list(self.qubits)}"
+        return f"{self.name} q{list(self.qubits)}"
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Look up a gate's unitary without constructing a :class:`Gate`."""
+    definition = GATE_REGISTRY[name]
+    if len(params) != definition.num_params:
+        raise ValueError(
+            f"gate {name!r} expects {definition.num_params} params, got {len(params)}"
+        )
+    return definition.matrix_fn(tuple(params))
+
+
+def standard_gate(name: str, *qubits: int, params: Sequence[float] = ()) -> Gate:
+    """Convenience constructor: ``standard_gate("cx", 0, 1)``."""
+    return Gate(name, tuple(qubits), tuple(params))
+
+
+def U3Gate(qubit: int, theta: float, phi: float, lam: float) -> Gate:
+    """Shortcut for the workhorse parameterised single-qubit gate."""
+    return Gate("u3", (qubit,), (theta, phi, lam))
+
+
+def CXGate(control: int, target: int) -> Gate:
+    """Shortcut for the workhorse entangling gate (control, target)."""
+    return Gate("cx", (control, target))

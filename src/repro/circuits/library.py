@@ -1,0 +1,189 @@
+"""Standard circuit constructions used by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+__all__ = [
+    "ghz_circuit",
+    "qft_circuit",
+    "random_circuit",
+    "random_u3_cx_circuit",
+    "basis_state_preparation",
+]
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """|0..0> + |1..1> preparation: one H plus a CNOT ladder."""
+    qc = QuantumCircuit(num_qubits, name=f"ghz{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def qft_circuit(num_qubits: int, *, swaps: bool = True) -> QuantumCircuit:
+    """The quantum Fourier transform over ``num_qubits`` qubits."""
+    qc = QuantumCircuit(num_qubits, name=f"qft{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        qc.h(target)
+        for k, control in enumerate(reversed(range(target)), start=2):
+            qc.cu1(2.0 * math.pi / (2**k), control, target)
+    if swaps:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    *,
+    seed: Optional[int] = None,
+    two_qubit_prob: float = 0.35,
+) -> QuantumCircuit:
+    """A random circuit over the registered one- and two-qubit gates.
+
+    Deterministic for a fixed ``seed``; used heavily by property-based
+    tests to cross-validate simulators and transpiler passes.
+    """
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"random{num_qubits}x{depth}")
+    one_q = ["h", "x", "y", "z", "s", "t", "sx", "u3", "rx", "ry", "rz"]
+    two_q = ["cx", "cz", "swap", "rzz"]
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < two_qubit_prob:
+            name = two_q[rng.integers(len(two_q))]
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            if name == "rzz":
+                qc.rzz(float(rng.uniform(0, 2 * math.pi)), int(a), int(b))
+            elif name == "cx":
+                qc.cx(int(a), int(b))
+            elif name == "cz":
+                qc.cz(int(a), int(b))
+            else:
+                qc.swap(int(a), int(b))
+        else:
+            name = one_q[rng.integers(len(one_q))]
+            q = int(rng.integers(num_qubits))
+            if name == "u3":
+                qc.u3(
+                    float(rng.uniform(0, math.pi)),
+                    float(rng.uniform(0, 2 * math.pi)),
+                    float(rng.uniform(0, 2 * math.pi)),
+                    q,
+                )
+            elif name in ("rx", "ry", "rz"):
+                getattr(qc, name)(float(rng.uniform(0, 2 * math.pi)), q)
+            else:
+                getattr(qc, name)(q)
+    return qc
+
+
+def random_u3_cx_circuit(
+    num_qubits: int,
+    num_cnots: int,
+    *,
+    seed: Optional[int] = None,
+    coupling: Optional[Sequence[tuple]] = None,
+) -> QuantumCircuit:
+    """A random circuit in the synthesis ansatz shape: U3 layers + CNOTs.
+
+    This mirrors the circuit space QSearch explores (one CNOT plus two U3
+    gates per block) and is used to exercise the synthesis objective.
+    """
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"ansatz{num_qubits}x{num_cnots}")
+    edges = list(coupling) if coupling else [
+        (a, b) for a in range(num_qubits) for b in range(num_qubits) if a < b
+    ]
+    for q in range(num_qubits):
+        qc.u3(*(float(x) for x in rng.uniform(0, 2 * math.pi, size=3)), q)
+    for _ in range(num_cnots):
+        a, b = edges[rng.integers(len(edges))]
+        qc.cx(int(a), int(b))
+        for q in (a, b):
+            qc.u3(*(float(x) for x in rng.uniform(0, 2 * math.pi, size=3)), int(q))
+    return qc
+
+
+def bell_pair() -> QuantumCircuit:
+    """The |Phi+> Bell state preparation."""
+    return ghz_circuit(2).copy(name="bell")
+
+
+def w_state_circuit(num_qubits: int) -> QuantumCircuit:
+    """Prepare the W state ``(|100..> + |010..> + ... + |0..01>)/sqrt(n)``.
+
+    Cascade construction: a chain of amplitude-splitting controlled
+    rotations followed by CNOTs (ancilla free).
+    """
+    if num_qubits < 2:
+        raise ValueError("W state needs at least 2 qubits")
+    n = num_qubits
+    qc = QuantumCircuit(n, name=f"w{n}")
+    qc.x(0)
+    for k in range(n - 1):
+        # Split amplitude 1/(n-k) off the current excitation carrier.
+        theta = 2.0 * math.acos(math.sqrt(1.0 / (n - k)))
+        # CRY via crx conjugated: use ry-based controlled rotation built
+        # from the generic controlled-1q decomposition.
+        from ..transpile.basis import controlled_1q_gates
+        from .gates import gate_matrix
+
+        for gate in controlled_1q_gates(
+            gate_matrix("ry", (theta,)), k, k + 1
+        ):
+            qc.append(gate)
+        qc.cx(k + 1, k)
+    return qc
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    num_layers: int,
+    parameter_prefix: str = "t",
+):
+    """A hardware-efficient variational ansatz with symbolic parameters.
+
+    Each layer: RY+RZ on every qubit (symbolic angles) followed by a CNOT
+    ladder. Returns ``(circuit, parameters)``; bind with
+    :func:`repro.circuits.parameters.bind_parameters`.
+    """
+    from .parameters import Parameter
+
+    qc = QuantumCircuit(num_qubits, name=f"hea{num_qubits}x{num_layers}")
+    parameters = []
+    for layer in range(num_layers):
+        for q in range(num_qubits):
+            p_ry = Parameter(f"{parameter_prefix}[{layer}][{q}]ry")
+            p_rz = Parameter(f"{parameter_prefix}[{layer}][{q}]rz")
+            parameters.extend([p_ry, p_rz])
+            qc.ry(p_ry, q)
+            qc.rz(p_rz, q)
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+    return qc, parameters
+
+
+def basis_state_preparation(num_qubits: int, bitstring: str) -> QuantumCircuit:
+    """Prepare the computational basis state ``|bitstring>``.
+
+    The bitstring reads left-to-right from the most significant qubit,
+    i.e. ``"011"`` on 3 qubits sets qubit 1 and qubit 0.
+    """
+    if len(bitstring) != num_qubits:
+        raise ValueError("bitstring length must equal num_qubits")
+    qc = QuantumCircuit(num_qubits, name=f"prep_{bitstring}")
+    for position, bit in enumerate(bitstring):
+        qubit = num_qubits - 1 - position
+        if bit == "1":
+            qc.x(qubit)
+        elif bit != "0":
+            raise ValueError(f"invalid bit {bit!r}")
+    return qc

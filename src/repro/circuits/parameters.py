@@ -1,0 +1,131 @@
+"""Symbolic circuit parameters.
+
+A light-weight analogue of Qiskit's ``Parameter``/``bind_parameters``:
+circuits can be built with named symbolic angles (plus scaled/shifted
+expressions of them) and instantiated later. Used to express parametric
+ansatz templates once and sweep their angles without rebuilding the gate
+list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Union
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["Parameter", "ParameterExpression", "bind_parameters", "free_parameters"]
+
+
+class ParameterExpression:
+    """An affine expression ``scale * parameter + offset``."""
+
+    __slots__ = ("parameter", "scale", "offset")
+
+    def __init__(self, parameter: "Parameter", scale: float = 1.0, offset: float = 0.0):
+        self.parameter = parameter
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    # -- arithmetic ----------------------------------------------------
+    def __mul__(self, factor: float) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, self.scale * factor, self.offset * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def __add__(self, shift: float) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, self.scale, self.offset + float(shift)
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, shift: float) -> "ParameterExpression":
+        return self + (-float(shift))
+
+    def __truediv__(self, divisor: float) -> "ParameterExpression":
+        return self * (1.0 / divisor)
+
+    # -- evaluation ----------------------------------------------------
+    def bind(self, value: float) -> float:
+        return self.scale * float(value) + self.offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.scale:g}*{self.parameter.name}+{self.offset:g}"
+
+    # Deliberately NOT convertible to float: catching accidental use of an
+    # unbound parameter as a number is the main safety feature.
+    def __float__(self):
+        raise TypeError(
+            f"parameter {self.parameter.name!r} is unbound; call "
+            "bind_parameters(circuit, {...}) first"
+        )
+
+
+class Parameter(ParameterExpression):
+    """A named free parameter."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("parameter needs a name")
+        self.name = name
+        super().__init__(self, 1.0, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name!r})"
+
+
+ParamLike = Union[float, ParameterExpression]
+
+
+def free_parameters(circuit: QuantumCircuit) -> Set[str]:
+    """Names of all unbound parameters in a circuit."""
+    names: Set[str] = set()
+    for gate in circuit:
+        for p in gate.params:
+            if isinstance(p, ParameterExpression):
+                names.add(p.parameter.name)
+    return names
+
+
+def bind_parameters(
+    circuit: QuantumCircuit, values: Mapping[Union[str, "Parameter"], float]
+) -> QuantumCircuit:
+    """Return a copy with every symbolic parameter replaced by its value.
+
+    Raises if any parameter remains unbound (so the result is always a
+    fully numeric, simulable circuit).
+    """
+    table: Dict[str, float] = {}
+    for key, value in values.items():
+        name = key.name if isinstance(key, Parameter) else str(key)
+        table[name] = float(value)
+
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    missing: Set[str] = set()
+    for gate in circuit:
+        if not gate.params:
+            out.append(gate)
+            continue
+        bound: List[float] = []
+        for p in gate.params:
+            if isinstance(p, ParameterExpression):
+                name = p.parameter.name
+                if name not in table:
+                    missing.add(name)
+                    bound.append(0.0)
+                else:
+                    bound.append(p.bind(table[name]))
+            else:
+                bound.append(float(p))
+        out.append(Gate(gate.name, gate.qubits, tuple(bound)))
+    if missing:
+        raise KeyError(f"unbound parameters: {sorted(missing)}")
+    return out

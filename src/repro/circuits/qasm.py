@@ -1,0 +1,120 @@
+"""OpenQASM 2 subset serialisation.
+
+Enough of OpenQASM 2 to round-trip every circuit this package produces:
+one quantum register, the registered gate set, ``barrier`` and ``measure``.
+Used by the experiment harness to checkpoint synthesized approximate
+circuits to disk.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from .circuit import QuantumCircuit
+from .gates import GATE_REGISTRY, Gate
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\[(\d+)\]\s*;")
+_CREG_RE = re.compile(r"creg\s+(\w+)\[(\d+)\]\s*;")
+_GATE_RE = re.compile(
+    r"(\w+)\s*(?:\(([^)]*)\))?\s+((?:\w+\[\d+\]\s*,?\s*)+);"
+)
+_QUBIT_RE = re.compile(r"\w+\[(\d+)\]")
+
+
+def _fmt_param(value: float) -> str:
+    """Render a parameter, preferring exact multiples of pi for readability."""
+    for denom in (1, 2, 3, 4, 6, 8):
+        for num in range(-16, 17):
+            if num == 0:
+                continue
+            if abs(value - num * math.pi / denom) < 1e-12:
+                frac = f"pi/{denom}" if denom != 1 else "pi"
+                if num == 1:
+                    return frac
+                if num == -1:
+                    return f"-{frac}"
+                return f"{num}*{frac}"
+    if value == 0:
+        return "0"
+    return repr(float(value))
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to an OpenQASM 2 string."""
+    lines: List[str] = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if circuit.has_measurements():
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit:
+        qubits = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            for q in gate.qubits:
+                lines.append(f"measure q[{q}] -> c[{q}];")
+            continue
+        if gate.name == "barrier":
+            lines.append(f"barrier {qubits};")
+            continue
+        if gate.params:
+            params = ",".join(_fmt_param(p) for p in gate.params)
+            lines.append(f"{gate.name}({params}) {qubits};")
+        else:
+            lines.append(f"{gate.name} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def _eval_param(expr: str) -> float:
+    """Evaluate a QASM parameter expression (numbers, pi, + - * /)."""
+    expr = expr.strip()
+    if not re.fullmatch(r"[\d\s\.\+\-\*/epi()]+", expr):
+        raise ValueError(f"unsupported parameter expression {expr!r}")
+    return float(eval(expr, {"__builtins__": {}}, {"pi": math.pi, "e": math.e}))
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse the OpenQASM 2 subset emitted by :func:`to_qasm`."""
+    num_qubits = None
+    circuit = None
+    pending_measure: List[int] = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        m = _QREG_RE.fullmatch(line)
+        if m:
+            num_qubits = int(m.group(2))
+            circuit = QuantumCircuit(num_qubits)
+            continue
+        if _CREG_RE.fullmatch(line):
+            continue
+        if circuit is None:
+            raise ValueError("gate statement before qreg declaration")
+        if line.startswith("measure"):
+            q = int(_QUBIT_RE.search(line).group(1))
+            pending_measure.append(q)
+            continue
+        if line.startswith("barrier"):
+            qubits = tuple(int(x) for x in _QUBIT_RE.findall(line))
+            circuit.append(Gate("barrier", qubits))
+            continue
+        m = _GATE_RE.fullmatch(line)
+        if not m:
+            raise ValueError(f"cannot parse QASM line {raw!r}")
+        name, params_str, qubits_str = m.groups()
+        if name not in GATE_REGISTRY:
+            raise ValueError(f"unknown gate {name!r} in QASM input")
+        qubits = tuple(int(x) for x in _QUBIT_RE.findall(qubits_str))
+        params = ()
+        if params_str:
+            params = tuple(_eval_param(p) for p in params_str.split(","))
+        circuit.append(Gate(name, qubits, params))
+    if circuit is None:
+        raise ValueError("QASM input has no qreg declaration")
+    if pending_measure:
+        circuit.append(Gate("measure", tuple(sorted(set(pending_measure)))))
+    return circuit

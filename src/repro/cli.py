@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig02 --scale smoke
+    python -m repro all --scale quick --output results/
+    python -m repro ablations
+    python -m repro devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from . import experiments
+from .experiments import get_scale
+from .experiments.ablations import (
+    mitigation_ablation,
+    objective_ablation,
+    selection_ablation,
+    toffoli_suite_ablation,
+    warm_start_ablation,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _render(result) -> str:
+    if isinstance(result, str):
+        return result
+    return result.rows()
+
+
+#: name -> (driver, description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (lambda scale: experiments.table1_rows(), "average CNOT errors per machine"),
+    "fig02": (experiments.fig02, "3q TFIM, Toronto model (selected series)"),
+    "fig03": (experiments.fig03, "3q TFIM, Toronto model (all circuits)"),
+    "fig04": (experiments.fig04, "4q TFIM, Santiago model"),
+    "fig05": (experiments.fig05, "3q Grover, Toronto model"),
+    "fig06": (experiments.fig06, "4q Toffoli JS, Manhattan model"),
+    "fig07": (experiments.fig07, "5q Toffoli JS, Manhattan model"),
+    "fig07b": (experiments.fig07b, "3q Toffoli negative result"),
+    "fig08": (experiments.fig08, "TFIM sweep, CNOT error 0"),
+    "fig09": (experiments.fig09, "TFIM sweep, CNOT error 0.12"),
+    "fig10": (experiments.fig10, "TFIM sweep, CNOT error 0.24"),
+    "fig11": (experiments.fig11, "best-circuit depth vs error level"),
+    "fig12": (experiments.fig12, "3q TFIM on emulated Manhattan hardware"),
+    "fig13": (experiments.fig13, "4q TFIM on emulated Manhattan hardware"),
+    "fig14": (experiments.fig14, "3q Grover on emulated Rome hardware"),
+    "fig15": (experiments.fig15, "4q Toffoli on emulated Manhattan hardware"),
+    "fig16": (lambda scale: experiments.fig16(), "Toronto calibration report"),
+    "fig17": (experiments.fig17, "best manual mapping (Toronto hardware)"),
+    "fig18": (experiments.fig18, "worst manual mapping (Toronto hardware)"),
+    "fig19": (experiments.fig19, "automatic level-3 mapping"),
+}
+
+ABLATIONS: Dict[str, Callable] = {
+    "selection": lambda scale: selection_ablation(scale),
+    "objective": lambda scale: objective_ablation(),
+    "warmstart": lambda scale: warm_start_ablation(),
+    "suite": lambda scale: toffoli_suite_ablation(scale),
+    "mitigation": lambda scale: mitigation_ablation(scale),
+}
+
+
+def _run_one(name: str, scale, output: Optional[Path]) -> str:
+    driver, _desc = EXPERIMENTS[name]
+    started = time.time()
+    result = driver(scale)
+    text = _render(result)
+    elapsed = time.time() - started
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{name}.txt").write_text(text + "\n")
+    return f"{text}\n[{name} completed in {elapsed:.1f}s]"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures of 'Empirical Evaluation of Circuit "
+            "Approximations on Noisy Quantum Devices' (SC 2021)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help="experiment name, 'all', 'list', 'devices', or 'ablations'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["smoke", "quick", "paper"],
+        help="experiment scale (default: REPRO_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write <name>.txt result files into",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name, (_driver, desc) in EXPERIMENTS.items():
+            print(f"{name:<8} {desc}")
+        for name in ABLATIONS:
+            print(f"ablations:{name}")
+        return 0
+
+    if args.target == "devices":
+        from .noise import available_devices, get_device
+
+        for name in available_devices():
+            device = get_device(name)
+            print(
+                f"{name:<10} {device.num_qubits:>3} qubits, "
+                f"avg CNOT err {device.average_cnot_error():.5f}, "
+                f"avg readout err {device.average_readout_error():.5f}"
+            )
+        return 0
+
+    scale = get_scale(args.scale)
+
+    if args.target == "ablations":
+        for name, driver in ABLATIONS.items():
+            result = driver(scale)
+            text = _render(result)
+            print(text, end="\n\n")
+            if args.output is not None:
+                args.output.mkdir(parents=True, exist_ok=True)
+                (args.output / f"ablation_{name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.target == "all":
+        for name in EXPERIMENTS:
+            print(_run_one(name, scale, args.output), end="\n\n")
+        return 0
+
+    if args.target in EXPERIMENTS:
+        print(_run_one(args.target, scale, args.output))
+        return 0
+
+    if args.target.startswith("ablations:"):
+        key = args.target.split(":", 1)[1]
+        if key in ABLATIONS:
+            print(_render(ABLATIONS[key](scale)))
+            return 0
+
+    parser.error(
+        f"unknown target {args.target!r}; run 'python -m repro list'"
+    )
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

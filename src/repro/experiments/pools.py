@@ -1,0 +1,152 @@
+"""Shared approximate-circuit pools.
+
+Every figure draws from the same per-workload pools (the paper likewise
+synthesises once and re-runs the pool under each noise setting), so pools
+are built here with the scale's synthesis budget and disk-cached by the
+synthesis layer. Circuits are synthesised against *line* coupling
+(``0-1-2-...``), which makes every CNOT native on the paper's five-qubit
+devices and on the first rows of Toronto/Manhattan — the paper's
+"optimization level 1 with mappings to qubits 0, 1, 2, 3, and 4".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.grover import grover_circuit
+from ..apps.tfim import TFIMSpec, tfim_step_circuit
+from ..apps.toffoli import mcx_circuit, mcx_unitary
+from ..transpile.basis import to_basis_gates
+from ..transpile.passes import merge_single_qubit_gates
+from ..synthesis.approximations import (
+    ApproximateCircuitSet,
+    generate_approximate_circuits,
+)
+from .scale import ExperimentScale, get_scale
+
+__all__ = [
+    "line_coupling",
+    "tfim_pools",
+    "grover_pool",
+    "toffoli_pool",
+]
+
+
+def line_coupling(num_qubits: int) -> List[Tuple[int, int]]:
+    """Nearest-neighbour CNOT placements ``(0,1), (1,2), ...``."""
+    return [(i, i + 1) for i in range(num_qubits - 1)]
+
+
+def _tool_for_width(num_qubits: int) -> str:
+    # QSearch up to 3 qubits (the paper: "QSearch begins to require a
+    # prohibitive amount of search time ... more than four qubits");
+    # QFast beyond.
+    return "qsearch" if num_qubits <= 3 else "qfast"
+
+
+def _synth_options(scale: ExperimentScale, num_qubits: int, tool: str) -> dict:
+    options = {
+        "max_cnots": scale.max_cnots(num_qubits),
+        "maxiter": scale.maxiter,
+        "restarts": scale.restarts,
+        "success_threshold": scale.success_threshold,
+    }
+    if tool == "qsearch":
+        options["max_nodes"] = scale.max_nodes
+        options["beam_width"] = 8
+    else:
+        options["patience"] = scale.qfast_patience
+        options["beam_width"] = 2
+    return options
+
+
+def tfim_pools(
+    num_qubits: int,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    spec: Optional[TFIMSpec] = None,
+    max_hs: float = float("inf"),
+) -> List[Tuple[int, ApproximateCircuitSet]]:
+    """Per-timestep approximate-circuit pools for the TFIM workload.
+
+    Returns ``[(step_index, pool), ...]`` over the scale's timesteps.
+    """
+    scale = scale or get_scale()
+    spec = spec or TFIMSpec(num_qubits)
+    if spec.num_qubits != num_qubits:
+        raise ValueError("spec width mismatch")
+    tool = _tool_for_width(num_qubits)
+    coupling = line_coupling(num_qubits)
+    options = _synth_options(scale, num_qubits, tool)
+    out = []
+    for step in scale.steps():
+        target = tfim_step_circuit(spec, step).unitary()
+        pool = generate_approximate_circuits(
+            target,
+            tool=tool,
+            coupling=coupling,
+            max_hs=max_hs,
+            seed=1000 + step,
+            synthesizer_options=dict(options),
+        )
+        out.append((step, pool))
+    return out
+
+
+def grover_pool(
+    num_qubits: int = 3,
+    marked: str = "111",
+    *,
+    scale: Optional[ExperimentScale] = None,
+    max_hs: float = float("inf"),
+) -> ApproximateCircuitSet:
+    """Approximate circuits for the Grover reference unitary."""
+    scale = scale or get_scale()
+    target = grover_circuit(num_qubits, marked).unitary()
+    tool = _tool_for_width(num_qubits)
+    options = _synth_options(scale, num_qubits, tool)
+    # Grover's unitary is deeper than a TFIM step: give the search more
+    # depth room at every scale.
+    options["max_cnots"] = scale.max_cnots(num_qubits) + 2
+    return generate_approximate_circuits(
+        target,
+        tool=tool,
+        coupling=line_coupling(num_qubits),
+        max_hs=max_hs,
+        seed=2000 + num_qubits,
+        synthesizer_options=options,
+    )
+
+
+def toffoli_pool(
+    num_controls: int,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    max_hs: float = float("inf"),
+) -> ApproximateCircuitSet:
+    """Approximate circuits for the ``num_controls``-control Toffoli.
+
+    Toffoli targets defeat growth-based synthesis (their HS landscape
+    plateaus near the identity), so the pool is produced by compression of
+    the exact ancilla-free reference — see
+    :mod:`repro.synthesis.compression`.
+    """
+    scale = scale or get_scale()
+    target = mcx_unitary(num_controls)
+    reference = merge_single_qubit_gates(to_basis_gates(mcx_circuit(num_controls)))
+    options = {
+        "maxiter": scale.maxiter,
+        "success_threshold": scale.success_threshold,
+        "trial_drops": 3 if scale.name != "smoke" else 2,
+        "stride": 2 if reference.cnot_count > 40 else 1,
+    }
+    return generate_approximate_circuits(
+        target,
+        tool="compress",
+        max_hs=max_hs,
+        seed=3000 + num_controls,
+        synthesizer_options=options,
+        reference=reference,
+    )

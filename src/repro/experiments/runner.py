@@ -1,0 +1,141 @@
+"""Execution backends and evaluation plumbing shared by the figure drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.channels import apply_readout_errors
+from ..noise.devices import DeviceSnapshot, get_device
+from ..noise.model import NoiseModel
+from ..sim.density_matrix import DensityMatrixSimulator
+from ..sim.expectation import average_magnetization
+from ..sim.statevector import StatevectorSimulator
+from ..transpile.layout import Layout
+from ..transpile.transpiler import TranspileResult, transpile
+
+__all__ = [
+    "Backend",
+    "IdealBackend",
+    "NoiseModelBackend",
+    "marginal_distribution",
+    "transpiled_virtual_distribution",
+    "run_magnetization",
+]
+
+
+class Backend(Protocol):
+    """Anything that executes a circuit into a basis-state distribution."""
+
+    name: str
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray: ...
+
+
+class IdealBackend:
+    """Noise-free execution (the "noise free reference" series)."""
+
+    name = "ideal"
+
+    def __init__(self) -> None:
+        self._sim = StatevectorSimulator()
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        return self._sim.run(circuit.without_measurements()).probabilities()
+
+
+class NoiseModelBackend:
+    """Exact density-matrix execution under a device noise model.
+
+    This is the reproduction's equivalent of Qiskit Aer with a device
+    noise model: deterministic (no shot noise), including readout
+    confusion.
+    """
+
+    def __init__(self, noise_model: NoiseModel, name: Optional[str] = None) -> None:
+        self.noise_model = noise_model
+        self.name = name or noise_model.name
+        self._sim = DensityMatrixSimulator(noise_model)
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        return self._sim.probabilities(circuit.without_measurements())
+
+
+def marginal_distribution(
+    probabilities: np.ndarray, wires: Sequence[int]
+) -> np.ndarray:
+    """Distribution over ``wires`` (new qubit ``i`` = old wire ``wires[i]``),
+    marginalising every other wire out.
+    """
+    m = int(round(np.log2(probabilities.size)))
+    if 2**m != probabilities.size:
+        raise ValueError("distribution size is not a power of two")
+    if len(set(wires)) != len(wires):
+        raise ValueError("duplicate wires")
+    tensor = probabilities.reshape((2,) * m)
+    keep_axes = [m - 1 - w for w in wires]  # tensor axis of old wire w
+    other = tuple(ax for ax in range(m) if ax not in keep_axes)
+    if other:
+        tensor = tensor.sum(axis=other)
+    # After summing, the kept axes appear in increasing original order.
+    k = len(wires)
+    remaining = sorted(keep_axes)
+    src = [remaining.index(ax) for ax in keep_axes]  # position of qubit i
+    dst = [k - 1 - i for i in range(k)]  # qubit i belongs on axis k-1-i
+    tensor = np.moveaxis(tensor, src, dst)
+    return np.ascontiguousarray(tensor).reshape(-1)
+
+
+def transpiled_virtual_distribution(
+    circuit: QuantumCircuit,
+    device: DeviceSnapshot,
+    *,
+    optimization_level: int = 1,
+    initial_layout: Optional[Sequence[int]] = None,
+    hardware=None,
+    include_thermal: bool = True,
+) -> Tuple[np.ndarray, TranspileResult]:
+    """Transpile, execute on the device's noise, return the *virtual* dist.
+
+    Runs the routed circuit over its active physical qubits (relabelled to
+    local indices), then marginalises ancilla wires and undoes the final
+    layout so the returned distribution is over the original virtual
+    qubits — exactly what hardware counts deliver after Qiskit's final
+    mapping.
+
+    ``hardware`` may be a :class:`~repro.hardware.backend.FakeHardware`
+    *factory* ``(device, qubits) -> backend``; otherwise a noiseless-shot
+    exact noise-model simulation is used.
+    """
+    result = transpile(
+        circuit,
+        device,
+        optimization_level=optimization_level,
+        initial_layout=initial_layout,
+    )
+    local, local_final = result.local_circuit()
+    if local.num_qubits > 10:
+        raise ValueError(
+            f"routing wandered over {local.num_qubits} qubits; "
+            "restrict the layout"
+        )
+    if hardware is not None:
+        backend = hardware(device, result.active_qubits)
+        probs = backend.run(local.without_measurements())
+    else:
+        model = device.noise_model(
+            result.active_qubits, include_thermal=include_thermal
+        )
+        probs = DensityMatrixSimulator(model).probabilities(
+            local.without_measurements()
+        )
+    wires = list(local_final.physical_qubits[: circuit.num_qubits])
+    return marginal_distribution(probs, wires), result
+
+
+def run_magnetization(circuit: QuantumCircuit, backend: Backend) -> float:
+    """The TFIM observable under a backend."""
+    return average_magnetization(backend.run(circuit))

@@ -1,0 +1,108 @@
+"""Experiment scale presets.
+
+The paper's full experiment matrix (21 TFIM timesteps x several devices x
+several tools) is minutes of synthesis on one core. Three presets trade
+pool size for runtime; all of them preserve every figure's qualitative
+shape, and synthesis results are disk-cached so only the first run pays.
+
+Select with the ``REPRO_SCALE`` environment variable (``smoke`` | ``quick``
+| ``paper``); ``quick`` is the default for benchmarks, ``smoke`` is what
+the test suite uses.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["ExperimentScale", "SMOKE", "QUICK", "PAPER", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs bounding synthesis effort and run sizes.
+
+    Attributes
+    ----------
+    tfim_steps:
+        Which of the paper's 21 timesteps to evaluate.
+    max_nodes:
+        QSearch node budget per target.
+    maxiter:
+        Optimiser iteration cap per node.
+    max_cnots_by_width:
+        Synthesis depth limit per circuit width (qubits -> CNOTs).
+    qfast_patience:
+        Stall tolerance when growing deep pools.
+    shots:
+        Hardware-emulation sample count.
+    success_threshold:
+        HS distance treated as converged during synthesis.
+    """
+
+    name: str
+    tfim_steps: Tuple[int, ...]
+    max_nodes: int
+    maxiter: int
+    max_cnots_by_width: Tuple[Tuple[int, int], ...]
+    qfast_patience: int
+    shots: int
+    success_threshold: float
+    restarts: int = 1
+
+    def steps(self) -> List[int]:
+        return list(self.tfim_steps)
+
+    def max_cnots(self, num_qubits: int) -> int:
+        table = dict(self.max_cnots_by_width)
+        if num_qubits in table:
+            return table[num_qubits]
+        return max(table.values())
+
+
+_ALL_21 = tuple(range(1, 22))
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    tfim_steps=(1, 6, 11, 16, 21),
+    max_nodes=12,
+    maxiter=80,
+    max_cnots_by_width=((2, 3), (3, 5), (4, 7), (5, 9)),
+    qfast_patience=4,
+    shots=2048,
+    success_threshold=1e-5,
+)
+
+QUICK = ExperimentScale(
+    name="quick",
+    tfim_steps=_ALL_21,
+    max_nodes=25,
+    maxiter=120,
+    max_cnots_by_width=((2, 3), (3, 6), (4, 10), (5, 14)),
+    qfast_patience=8,
+    shots=4096,
+    success_threshold=1e-6,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    tfim_steps=_ALL_21,
+    max_nodes=150,
+    maxiter=300,
+    max_cnots_by_width=((2, 3), (3, 8), (4, 16), (5, 24)),
+    qfast_patience=12,
+    shots=8192,
+    success_threshold=1e-8,
+    restarts=2,
+)
+
+_PRESETS = {"smoke": SMOKE, "quick": QUICK, "paper": PAPER}
+
+
+def get_scale(name: str = None) -> ExperimentScale:
+    """Resolve a scale by name or the ``REPRO_SCALE`` environment variable."""
+    key = (name or os.environ.get("REPRO_SCALE", "quick")).lower()
+    if key not in _PRESETS:
+        raise KeyError(f"unknown scale {key!r}; choose from {sorted(_PRESETS)}")
+    return _PRESETS[key]

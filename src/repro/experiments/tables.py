@@ -1,0 +1,49 @@
+"""Table reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..noise.devices import TABLE1_CNOT_ERRORS, get_device
+
+__all__ = ["Table1Row", "table1", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    machine: str
+    num_qubits: int
+    avg_cnot_error: float
+
+
+def table1() -> List[Table1Row]:
+    """Table 1: average CNOT errors on the five IBM machines.
+
+    The snapshots are constructed so these match the published averages
+    exactly (the paper's calibration date: 2021/01/18).
+    """
+    order = ["manhattan", "toronto", "santiago", "rome", "ourense"]
+    rows = []
+    for name in order:
+        device = get_device(name)
+        rows.append(
+            Table1Row(
+                machine=name.capitalize(),
+                num_qubits=device.num_qubits,
+                avg_cnot_error=device.average_cnot_error(),
+            )
+        )
+    return rows
+
+
+def table1_rows() -> str:
+    lines = [
+        "[table1] Average CNOT errors on IBM machines (2021/01/18)",
+        "IBM Machine  Num. qubits  Av. CNOT err.",
+    ]
+    for row in table1():
+        lines.append(
+            f"{row.machine:<11}  {row.num_qubits:>11}  {row.avg_cnot_error:>12.5f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Emulated hardware backends and calibration tooling."""
+
+from .backend import FakeHardware
+from .calibration import mapping_candidates, paper_mappings, noise_report
+from .randomized_benchmarking import (
+    clifford_1q_gates,
+    rb_sequence,
+    interleaved_rb_sequence,
+    RBResult,
+    run_rb,
+    run_interleaved_rb,
+    fit_rb_decay,
+)
+from .quantum_volume import (
+    qv_model_circuit,
+    heavy_outputs,
+    heavy_output_probability,
+    QVWidthResult,
+    measure_quantum_volume,
+    achieved_quantum_volume,
+)
+
+__all__ = [
+    "FakeHardware",
+    "mapping_candidates",
+    "paper_mappings",
+    "noise_report",
+    "qv_model_circuit",
+    "heavy_outputs",
+    "heavy_output_probability",
+    "QVWidthResult",
+    "measure_quantum_volume",
+    "achieved_quantum_volume",
+    "clifford_1q_gates",
+    "rb_sequence",
+    "RBResult",
+    "run_rb",
+    "run_interleaved_rb",
+    "interleaved_rb_sequence",
+    "fit_rb_decay",
+]

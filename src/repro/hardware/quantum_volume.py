@@ -1,0 +1,125 @@
+"""Quantum-volume estimation (paper §6.5 roadmap).
+
+The paper plans to "correlate circuit behavior with commonly accepted
+hardware evaluation metrics, such as ... 'quantum volume'". This module
+implements the standard QV protocol (Cross et al.) on the reproduction's
+own stack:
+
+* model circuits: ``m`` qubits, ``m`` layers, each layer a random qubit
+  permutation followed by Haar-random SU(4) blocks on adjacent pairs,
+  lowered to the native ``{u3, cx}`` basis;
+* heavy outputs: the basis states whose ideal probability exceeds the
+  median;
+* a width ``m`` passes when the mean heavy-output probability across the
+  sampled circuits exceeds 2/3;
+* ``QV = 2^m`` for the largest passing width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..linalg.random import haar_unitary
+from ..sim.statevector import StatevectorSimulator
+from ..synthesis.twoq import decompose_two_qubit_unitary
+
+__all__ = [
+    "qv_model_circuit",
+    "heavy_outputs",
+    "heavy_output_probability",
+    "QVWidthResult",
+    "measure_quantum_volume",
+]
+
+#: The QV pass threshold on mean heavy-output probability.
+HOP_THRESHOLD = 2.0 / 3.0
+
+
+def qv_model_circuit(width: int, seed: int) -> QuantumCircuit:
+    """One QV model circuit over ``width`` qubits in the native basis."""
+    if width < 2:
+        raise ValueError("QV model circuits need at least 2 qubits")
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(width, name=f"qv{width}_s{seed}")
+    for _layer in range(width):
+        perm = rng.permutation(width)
+        for i in range(0, width - 1, 2):
+            a, b = int(perm[i]), int(perm[i + 1])
+            block = haar_unitary(4, rng)
+            sub, _k = decompose_two_qubit_unitary(
+                block, seed=int(rng.integers(2**31))
+            )
+            qc.compose(sub, qubits=[a, b])
+    return qc
+
+
+def heavy_outputs(ideal_probabilities: np.ndarray) -> np.ndarray:
+    """Indices of basis states above the median ideal probability."""
+    probs = np.asarray(ideal_probabilities, dtype=np.float64)
+    median = np.median(probs)
+    return np.nonzero(probs > median)[0]
+
+
+def heavy_output_probability(
+    circuit: QuantumCircuit, backend
+) -> float:
+    """The probability mass a backend puts on the circuit's heavy set."""
+    ideal = StatevectorSimulator().run(circuit.without_measurements()).probabilities()
+    heavy = heavy_outputs(ideal)
+    measured = backend.run(circuit)
+    return float(measured[heavy].sum())
+
+
+@dataclass
+class QVWidthResult:
+    """HOP statistics for one width."""
+
+    width: int
+    hops: List[float] = field(default_factory=list)
+
+    @property
+    def mean_hop(self) -> float:
+        return float(np.mean(self.hops)) if self.hops else 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.mean_hop > HOP_THRESHOLD
+
+    @property
+    def quantum_volume(self) -> int:
+        return 2**self.width
+
+
+def measure_quantum_volume(
+    backend,
+    *,
+    widths: Sequence[int] = (2, 3, 4),
+    circuits_per_width: int = 5,
+    seed: int = 11,
+) -> Dict[int, QVWidthResult]:
+    """Run the QV protocol; returns per-width results.
+
+    ``backend`` is anything with ``run(circuit) -> probabilities``; widths
+    must fit within the backend's qubit subset. The achieved quantum
+    volume is ``max(2**m for passing m)`` (the ideal backend passes every
+    width; a noisy backend fails once depth x width outruns its fidelity
+    budget).
+    """
+    results: Dict[int, QVWidthResult] = {}
+    for width in widths:
+        res = QVWidthResult(width)
+        for c in range(circuits_per_width):
+            circuit = qv_model_circuit(width, seed=seed * 1000 + width * 100 + c)
+            res.hops.append(heavy_output_probability(circuit, backend))
+        results[width] = res
+    return results
+
+
+def achieved_quantum_volume(results: Dict[int, QVWidthResult]) -> int:
+    """Largest passing ``2^m``; 1 when no width passes."""
+    passing = [r.quantum_volume for r in results.values() if r.passed]
+    return max(passing) if passing else 1

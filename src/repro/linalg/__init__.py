@@ -1,0 +1,48 @@
+"""Dense linear algebra substrate: operators, decompositions, gradients."""
+
+from .unitary import (
+    Operator,
+    apply_matrix_to_state,
+    apply_matrix_to_unitary,
+    embed_gate,
+    controlled_unitary,
+    is_unitary,
+    allclose_up_to_global_phase,
+    global_phase_aligned,
+)
+from .decompositions import (
+    zyz_decomposition,
+    u3_params_from_unitary,
+    su2_from_unitary,
+    rotation_axis_angle,
+)
+from .random import haar_unitary, haar_state, random_special_unitary
+from .pauli import PauliString, PauliSum
+from .gradients import (
+    GateSpec,
+    circuit_unitary_and_gradient,
+    u3_matrix_and_derivatives,
+)
+
+__all__ = [
+    "Operator",
+    "apply_matrix_to_state",
+    "apply_matrix_to_unitary",
+    "embed_gate",
+    "controlled_unitary",
+    "is_unitary",
+    "allclose_up_to_global_phase",
+    "global_phase_aligned",
+    "zyz_decomposition",
+    "u3_params_from_unitary",
+    "su2_from_unitary",
+    "rotation_axis_angle",
+    "haar_unitary",
+    "haar_state",
+    "random_special_unitary",
+    "GateSpec",
+    "circuit_unitary_and_gradient",
+    "u3_matrix_and_derivatives",
+    "PauliString",
+    "PauliSum",
+]

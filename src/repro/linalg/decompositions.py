@@ -1,0 +1,107 @@
+"""Analytic gate decompositions.
+
+The centrepiece is the ZYZ Euler decomposition, which rewrites any 2x2
+unitary as a single ``U3`` gate plus a global phase — the rewrite the
+transpiler's single-qubit merge pass relies on to keep one-qubit gate count
+at one per qubit per layer (as Qiskit's optimisation level 1+ does).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .unitary import allclose_up_to_global_phase
+
+__all__ = [
+    "zyz_decomposition",
+    "u3_params_from_unitary",
+    "su2_from_unitary",
+    "rotation_axis_angle",
+]
+
+_ATOL = 1e-12
+
+
+def su2_from_unitary(matrix: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Split a 2x2 unitary into ``(V, alpha)`` with ``V in SU(2)``.
+
+    ``matrix = exp(i * alpha) * V`` and ``det(V) = 1``.
+    """
+    det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    alpha = cmath.phase(det) / 2.0
+    return matrix * cmath.exp(-1j * alpha), alpha
+
+
+def zyz_decomposition(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Euler angles ``(theta, phi, lam, phase)`` for a 2x2 unitary.
+
+    ``matrix = exp(i*phase) * Rz(phi) @ Ry(theta) @ Rz(lam)``.
+    """
+    if matrix.shape != (2, 2):
+        raise ValueError("zyz_decomposition expects a 2x2 matrix")
+    v, alpha = su2_from_unitary(np.asarray(matrix, dtype=np.complex128))
+    # v = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #      [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    theta = 2.0 * math.atan2(abs(v[1, 0]), abs(v[0, 0]))
+    if abs(v[0, 0]) > _ATOL and abs(v[1, 0]) > _ATOL:
+        plus = 2.0 * cmath.phase(v[1, 1])
+        minus = 2.0 * cmath.phase(v[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    elif abs(v[1, 0]) <= _ATOL:  # theta ~ 0: only phi+lam is defined
+        phi = 2.0 * cmath.phase(v[1, 1])
+        lam = 0.0
+        theta = 0.0
+    else:  # theta ~ pi: only phi-lam is defined
+        phi = 2.0 * cmath.phase(v[1, 0])
+        lam = 0.0
+        theta = math.pi
+    return theta, phi, lam, alpha
+
+
+def u3_params_from_unitary(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """Parameters ``(theta, phi, lam)`` with ``U3(...) ~ matrix`` up to phase.
+
+    ``U3(theta, phi, lam) = exp(i*(phi+lam)/2) * Rz(phi) Ry(theta) Rz(lam)``,
+    so the ZYZ angles transfer directly.
+    """
+    theta, phi, lam, _phase = zyz_decomposition(matrix)
+    return theta, phi, lam
+
+
+def rotation_axis_angle(matrix: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Bloch rotation axis and angle of a 2x2 unitary.
+
+    Any ``V in SU(2)`` equals ``cos(a/2) I - i sin(a/2) (n . sigma)``;
+    returns ``(n, a)`` with ``|n| = 1`` (``n`` arbitrary when ``a = 0``).
+    """
+    v, _ = su2_from_unitary(np.asarray(matrix, dtype=np.complex128))
+    cos_half = np.clip(np.real(v[0, 0] + v[1, 1]) / 2.0, -1.0, 1.0)
+    angle = 2.0 * math.acos(cos_half)
+    sin_half = math.sin(angle / 2.0)
+    if sin_half < 1e-12:
+        return np.array([0.0, 0.0, 1.0]), 0.0
+    nx = -np.imag(v[0, 1] + v[1, 0]) / (2.0 * sin_half)
+    ny = np.real(v[0, 1] - v[1, 0]) / (2.0 * sin_half)
+    nz = -np.imag(v[0, 0] - v[1, 1]) / (2.0 * sin_half)
+    n = np.array([nx, ny, nz])
+    norm = np.linalg.norm(n)
+    if norm < 1e-12:
+        return np.array([0.0, 0.0, 1.0]), angle
+    return n / norm, angle
+
+
+def verify_zyz(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Self-check helper: reconstruct the unitary from its ZYZ angles."""
+    from ..circuits.gates import u3_matrix
+
+    theta, phi, lam, _ = zyz_decomposition(matrix)
+    return allclose_up_to_global_phase(
+        np.asarray(matrix, dtype=np.complex128),
+        u3_matrix((theta, phi, lam)),
+        atol=atol,
+    )

@@ -1,0 +1,210 @@
+"""Pauli-string algebra.
+
+Provides the operator language the TFIM workload is defined in: sparse
+sums of Pauli strings with efficient matrix construction, products,
+commutation checks, and expectation values. Used to build the TFIM
+Hamiltonian exactly and to quantify Trotterisation error against the exact
+propagator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PauliString", "PauliSum"]
+
+_SINGLE = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+# Single-qubit Pauli products: _MUL[a][b] = (phase, result)
+_MUL = {
+    ("I", "I"): (1, "I"), ("I", "X"): (1, "X"), ("I", "Y"): (1, "Y"), ("I", "Z"): (1, "Z"),
+    ("X", "I"): (1, "X"), ("X", "X"): (1, "I"), ("X", "Y"): (1j, "Z"), ("X", "Z"): (-1j, "Y"),
+    ("Y", "I"): (1, "Y"), ("Y", "X"): (-1j, "Z"), ("Y", "Y"): (1, "I"), ("Y", "Z"): (1j, "X"),
+    ("Z", "I"): (1, "Z"), ("Z", "X"): (1j, "Y"), ("Z", "Y"): (-1j, "X"), ("Z", "Z"): (1, "I"),
+}
+
+
+class PauliString:
+    """A tensor product of single-qubit Paulis, e.g. ``"XZI"``.
+
+    The label reads MSB-first: the leftmost letter acts on the highest
+    qubit (``"XZI"`` on 3 qubits puts X on qubit 2, Z on qubit 1).
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        label = label.upper()
+        if not label or any(ch not in "IXYZ" for ch in label):
+            raise ValueError(f"invalid Pauli label {label!r}")
+        self.label = label
+
+    @classmethod
+    def from_sparse(
+        cls, num_qubits: int, terms: Mapping[int, str]
+    ) -> "PauliString":
+        """Build from ``{qubit: letter}``, identity elsewhere."""
+        letters = ["I"] * num_qubits
+        for qubit, letter in terms.items():
+            if not 0 <= qubit < num_qubits:
+                raise ValueError(f"qubit {qubit} out of range")
+            letters[num_qubits - 1 - qubit] = letter.upper()
+        return cls("".join(letters))
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.label)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors."""
+        return sum(1 for ch in self.label if ch != "I")
+
+    def letter(self, qubit: int) -> str:
+        return self.label[self.num_qubits - 1 - qubit]
+
+    def to_matrix(self) -> np.ndarray:
+        out = np.array([[1.0]], dtype=np.complex128)
+        for ch in self.label:
+            out = np.kron(out, _SINGLE[ch])
+        return out
+
+    def is_diagonal(self) -> bool:
+        """True when the string contains only I and Z (Z-basis diagonal)."""
+        return all(ch in "IZ" for ch in self.label)
+
+    def diagonal_signs(self) -> np.ndarray:
+        """Eigenvalue per basis state for a diagonal (I/Z) string."""
+        if not self.is_diagonal():
+            raise ValueError(f"{self.label} is not diagonal in the Z basis")
+        n = self.num_qubits
+        indices = np.arange(2**n)
+        signs = np.ones(2**n)
+        for qubit in range(n):
+            if self.letter(qubit) == "Z":
+                signs *= 1.0 - 2.0 * ((indices >> qubit) & 1)
+        return signs
+
+    def mul(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
+        """Product ``self @ other`` as ``(phase, string)``."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("width mismatch")
+        phase: complex = 1.0
+        letters = []
+        for a, b in zip(self.label, other.label):
+            ph, res = _MUL[(a, b)]
+            phase *= ph
+            letters.append(res)
+        return phase, PauliString("".join(letters))
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """Pauli strings either commute or anticommute; True if commute."""
+        anti = 0
+        for a, b in zip(self.label, other.label):
+            if a != "I" and b != "I" and a != b:
+                anti += 1
+        return anti % 2 == 0
+
+    def expectation(self, statevector: np.ndarray) -> float:
+        """``<psi| P |psi>`` for a pure state."""
+        psi = np.asarray(statevector, dtype=np.complex128)
+        if self.is_diagonal():
+            return float(np.real(np.dot(np.abs(psi) ** 2, self.diagonal_signs())))
+        return float(np.real(np.vdot(psi, self.to_matrix() @ psi)))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PauliString) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(self.label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PauliString({self.label!r})"
+
+
+class PauliSum:
+    """A real/complex linear combination of Pauli strings (a Hamiltonian)."""
+
+    def __init__(self, terms: Optional[Mapping[str, complex]] = None, num_qubits: Optional[int] = None) -> None:
+        self._terms: Dict[str, complex] = {}
+        self._num_qubits = num_qubits
+        if terms:
+            for label, coeff in terms.items():
+                self.add(PauliString(label), coeff)
+
+    @property
+    def num_qubits(self) -> int:
+        if self._num_qubits is None:
+            raise ValueError("empty PauliSum has no width")
+        return self._num_qubits
+
+    @property
+    def terms(self) -> Dict[str, complex]:
+        return dict(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def add(self, string: PauliString, coeff: complex = 1.0) -> "PauliSum":
+        if self._num_qubits is None:
+            self._num_qubits = string.num_qubits
+        elif string.num_qubits != self._num_qubits:
+            raise ValueError("width mismatch")
+        new = self._terms.get(string.label, 0.0) + coeff
+        if abs(new) < 1e-15:
+            self._terms.pop(string.label, None)
+        else:
+            self._terms[string.label] = new
+        return self
+
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        out = PauliSum(num_qubits=self._num_qubits)
+        for label, coeff in self._terms.items():
+            out.add(PauliString(label), coeff)
+        for label, coeff in other._terms.items():
+            out.add(PauliString(label), coeff)
+        return out
+
+    def __mul__(self, scalar: complex) -> "PauliSum":
+        out = PauliSum(num_qubits=self._num_qubits)
+        for label, coeff in self._terms.items():
+            out.add(PauliString(label), coeff * scalar)
+        return out
+
+    __rmul__ = __mul__
+
+    def to_matrix(self) -> np.ndarray:
+        dim = 2**self.num_qubits
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        for label, coeff in self._terms.items():
+            out += coeff * PauliString(label).to_matrix()
+        return out
+
+    def is_hermitian(self, atol: float = 1e-10) -> bool:
+        return all(abs(c.imag) < atol for c in self._terms.values())
+
+    def expectation(self, statevector: np.ndarray) -> complex:
+        return sum(
+            coeff * PauliString(label).expectation(statevector)
+            for label, coeff in self._terms.items()
+        )
+
+    def evolution_unitary(self, time: float) -> np.ndarray:
+        """The exact propagator ``exp(-i H t)`` (dense, small systems)."""
+        from scipy.linalg import expm
+
+        return expm(-1j * time * self.to_matrix())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            f"{c:.3g}*{l}" for l, c in sorted(self._terms.items())
+        )
+        return f"PauliSum({parts})"

@@ -1,0 +1,204 @@
+"""Dense operator utilities and vectorised gate application.
+
+This module is the numerical heart of the package: every simulator and the
+circuit-unitary computation funnel through :func:`apply_matrix_to_state`,
+which contracts a ``k``-qubit gate into an ``n``-qubit state tensor with a
+single :func:`numpy.tensordot` call (no per-amplitude Python loops, per the
+HPC guidance).
+
+Conventions
+-----------
+Little-endian: qubit 0 is the least-significant bit of a basis index, so a
+state vector reshaped to ``(2,) * n`` has qubit ``q`` on axis ``n - 1 - q``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "apply_matrix_to_state",
+    "apply_matrix_to_unitary",
+    "embed_gate",
+    "Operator",
+    "global_phase_aligned",
+    "allclose_up_to_global_phase",
+    "is_unitary",
+]
+
+
+def _qubit_axes(num_qubits: int, qubits: Sequence[int]) -> Tuple[int, ...]:
+    """Map qubit labels to tensor axes of a ``(2,)*n`` reshaped state."""
+    return tuple(num_qubits - 1 - q for q in qubits)
+
+
+def apply_matrix_to_state(
+    matrix: np.ndarray,
+    state: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a ``k``-qubit ``matrix`` to ``state`` on ``qubits``.
+
+    Parameters
+    ----------
+    matrix:
+        ``(2**k, 2**k)`` unitary in the local little-endian basis of
+        ``qubits`` (first listed qubit = low bit).
+    state:
+        Array of shape ``(2**n,)`` or ``(2**n, batch)``; the batch form is
+        used to evolve all columns of a unitary at once.
+    qubits:
+        Target qubit labels, first = local low bit.
+    num_qubits:
+        Total qubit count ``n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The evolved state with the same shape as the input.
+    """
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    in_shape = state.shape
+    batch = state.shape[1:] if state.ndim > 1 else ()
+    tensor = state.reshape((2,) * num_qubits + batch)
+
+    # Local basis |q_{k-1} ... q_0>: axis j of the reshaped gate corresponds
+    # to qubits[k - 1 - j]; build the contraction axis list accordingly.
+    gate = matrix.reshape((2,) * (2 * k))
+    axes = [_qubit_axes(num_qubits, (qubits[k - 1 - j],))[0] for j in range(k)]
+
+    out = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), axes))
+    # tensordot puts the k output axes first; move them back into place.
+    out = np.moveaxis(out, list(range(k)), axes)
+    return np.ascontiguousarray(out).reshape(in_shape)
+
+
+def apply_matrix_to_unitary(
+    matrix: np.ndarray,
+    unitary: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Left-multiply the embedded gate into an ``(2**n, 2**n)`` unitary."""
+    return apply_matrix_to_state(matrix, unitary, qubits, num_qubits)
+
+
+def embed_gate(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Return the full ``2**n`` dimensional embedding of a local gate."""
+    ident = np.eye(2**num_qubits, dtype=np.complex128)
+    return apply_matrix_to_unitary(matrix, ident, qubits, num_qubits)
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """Check ``U^dagger U = I`` within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    ident = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, ident, atol=atol))
+
+
+def global_phase_aligned(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return ``b`` multiplied by the phase that best aligns it with ``a``."""
+    overlap = np.trace(a.conj().T @ b)
+    if abs(overlap) < 1e-300:
+        return b
+    phase = overlap / abs(overlap)
+    return b / phase
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True when ``a`` equals ``b`` up to a single global phase factor."""
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if a.shape != b.shape:
+        return False
+    return bool(np.allclose(a, global_phase_aligned(a, b), atol=atol))
+
+
+class Operator:
+    """A dense ``n``-qubit operator, mirroring ``qiskit.quantum_info.Operator``.
+
+    The paper obtains its synthesis targets with
+    ``qiskit.quantum_info.Operator(circuit).data``; this class plays the same
+    role: ``Operator(circuit).data`` returns the circuit unitary.
+    """
+
+    def __init__(self, data) -> None:
+        if hasattr(data, "unitary"):
+            matrix = data.unitary()
+        else:
+            matrix = np.array(data, dtype=np.complex128)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"operator must be square, got {matrix.shape}")
+        dim = matrix.shape[0]
+        n = int(round(np.log2(dim)))
+        if 2**n != dim:
+            raise ValueError(f"operator dimension {dim} is not a power of two")
+        self._data = matrix
+        self._num_qubits = n
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw ``(2**n, 2**n)`` complex matrix."""
+        return self._data
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        return self._data.shape[0]
+
+    def adjoint(self) -> "Operator":
+        return Operator(self._data.conj().T)
+
+    def compose(self, other: "Operator") -> "Operator":
+        """Return ``other @ self`` (apply ``self`` first, then ``other``)."""
+        return Operator(other.data @ self._data)
+
+    def tensor(self, other: "Operator") -> "Operator":
+        """Kronecker product with ``other`` as the *lower* qubits."""
+        return Operator(np.kron(self._data, other.data))
+
+    def is_unitary(self, atol: float = 1e-9) -> bool:
+        return is_unitary(self._data, atol=atol)
+
+    def equiv(self, other: "Operator", atol: float = 1e-8) -> bool:
+        """Equality up to global phase."""
+        return allclose_up_to_global_phase(self._data, other.data, atol=atol)
+
+    def __matmul__(self, other: "Operator") -> "Operator":
+        return Operator(self._data @ other.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Operator({self._num_qubits} qubits)"
+
+
+def controlled_unitary(matrix: np.ndarray, num_controls: int = 1) -> np.ndarray:
+    """Build a controlled version of ``matrix`` (controls = low qubits).
+
+    The controls occupy the *low* qubit positions of the returned operator;
+    the original operator acts on the high qubits when all controls are 1.
+    """
+    k = int(round(np.log2(matrix.shape[0])))
+    n = k + num_controls
+    dim = 2**n
+    out = np.eye(dim, dtype=np.complex128)
+    mask = (1 << num_controls) - 1
+    # Basis indices with all control bits set: i = (j << num_controls) | mask.
+    idx = (np.arange(2**k) << num_controls) | mask
+    out[np.ix_(idx, idx)] = matrix
+    return out

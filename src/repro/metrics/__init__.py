@@ -1,0 +1,49 @@
+"""Process and distribution metrics used to score circuits."""
+
+from .process import (
+    hs_distance,
+    hs_overlap,
+    average_gate_fidelity,
+    process_fidelity,
+    frobenius_distance,
+)
+from .selection import (
+    SelectionStrategy,
+    minimal_hs_strategy,
+    shortest_strategy,
+    hs_threshold_strategy,
+    noise_aware_strategy,
+    oracle_strategy,
+    standard_strategies,
+    evaluate_strategies,
+    predicted_total_error,
+)
+from .distributions import (
+    jensen_shannon_distance,
+    kl_divergence,
+    total_variation_distance,
+    hellinger_distance,
+    UNIFORM_NOISE_JS,
+)
+
+__all__ = [
+    "hs_distance",
+    "hs_overlap",
+    "average_gate_fidelity",
+    "process_fidelity",
+    "frobenius_distance",
+    "jensen_shannon_distance",
+    "kl_divergence",
+    "total_variation_distance",
+    "hellinger_distance",
+    "UNIFORM_NOISE_JS",
+    "SelectionStrategy",
+    "minimal_hs_strategy",
+    "shortest_strategy",
+    "hs_threshold_strategy",
+    "noise_aware_strategy",
+    "oracle_strategy",
+    "standard_strategies",
+    "evaluate_strategies",
+    "predicted_total_error",
+]

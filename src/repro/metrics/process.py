@@ -1,0 +1,48 @@
+"""Process metrics: distances between unitaries/channels.
+
+The Hilbert-Schmidt distance is re-exported from the synthesis objective
+(one definition, one implementation); this module adds the fidelity-style
+metrics the paper's §6.5 roadmap lists for future selection studies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..synthesis.objective import hs_distance, hs_overlap
+
+__all__ = [
+    "hs_distance",
+    "hs_overlap",
+    "average_gate_fidelity",
+    "process_fidelity",
+    "frobenius_distance",
+]
+
+
+def process_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """``|Tr(a^+ b)|^2 / d^2`` — entanglement fidelity of the pair."""
+    overlap = hs_overlap(a, b)
+    return overlap * overlap
+
+
+def average_gate_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Average over Haar input states of the output-state fidelity.
+
+    ``F_avg = (d * F_pro + 1) / (d + 1)``.
+    """
+    d = a.shape[0]
+    return (d * process_fidelity(a, b) + 1.0) / (d + 1.0)
+
+
+def frobenius_distance(a: np.ndarray, b: np.ndarray, *, align_phase: bool = True) -> float:
+    """Frobenius norm ``||a - b||_F``, optionally after phase alignment."""
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if align_phase:
+        overlap = np.trace(a.conj().T @ b)
+        if abs(overlap) > 1e-300:
+            b = b * (abs(overlap) / overlap)
+    return float(np.linalg.norm(a - b))

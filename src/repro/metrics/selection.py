@@ -1,0 +1,168 @@
+"""Approximate-circuit selection strategies.
+
+The paper's Observation 2: "To capitalize on the potential of approximate
+circuits, a selection method and an associated metric are required to
+ensure superior performance under noise" — and its conclusion that process
+distance alone is not enough ("At the very least, target machine noise
+levels need to be taken into account").
+
+This module implements the candidate strategies that discussion implies
+and a harness to race them:
+
+* ``minimal_hs`` — pure process metric (the paper's "Minimal HS" series);
+* ``shortest`` — pure depth (ignore approximation quality entirely);
+* ``hs_threshold`` — shortest circuit within an HS budget;
+* ``noise_aware`` — minimise a predicted total-error score combining the
+  approximation error with the device's expected circuit infidelity,
+  which is the paper's suggested direction;
+* ``oracle`` — pick by actually executing on the backend (an upper bound:
+  the paper notes "best circuit selection is performed using
+  simulation/execution").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..synthesis.approximations import ApproximateCircuit, ApproximateCircuitSet
+
+__all__ = [
+    "SelectionStrategy",
+    "minimal_hs_strategy",
+    "shortest_strategy",
+    "hs_threshold_strategy",
+    "noise_aware_strategy",
+    "oracle_strategy",
+    "standard_strategies",
+    "evaluate_strategies",
+    "predicted_total_error",
+]
+
+
+@dataclass(frozen=True)
+class SelectionStrategy:
+    """A named rule mapping a circuit pool to one chosen circuit."""
+
+    name: str
+    select: Callable[[ApproximateCircuitSet], ApproximateCircuit]
+
+
+def minimal_hs_strategy() -> SelectionStrategy:
+    return SelectionStrategy("minimal_hs", lambda pool: pool.minimal_hs())
+
+
+def shortest_strategy() -> SelectionStrategy:
+    return SelectionStrategy("shortest", lambda pool: pool.shortest())
+
+
+def hs_threshold_strategy(threshold: float = 0.1) -> SelectionStrategy:
+    """Shortest circuit whose HS distance is within ``threshold``."""
+
+    def select(pool: ApproximateCircuitSet) -> ApproximateCircuit:
+        within = [c for c in pool if c.hs_distance <= threshold]
+        if not within:
+            return pool.minimal_hs()
+        return min(within, key=lambda c: (c.cnot_count, c.hs_distance))
+
+    return SelectionStrategy(f"hs<={threshold:g}", select)
+
+
+def predicted_total_error(
+    candidate: ApproximateCircuit,
+    cnot_error: float,
+    *,
+    sq_error: float = 3e-4,
+) -> float:
+    """A first-principles error prediction for one candidate.
+
+    Combines (a) the approximation's intrinsic process error — its HS
+    distance — with (b) the expected incoherent error accumulated by its
+    gates on the target device: ``1 - (1-p_cx)^n_cx (1-p_1q)^n_1q``.
+    Both terms live on a [0, 1] "how wrong is the output" scale, so the
+    sum is a usable (if crude) total-error score.
+    """
+    gate_count = candidate.circuit.gate_count
+    n_cx = candidate.cnot_count
+    n_1q = max(0, gate_count - n_cx)
+    infidelity = 1.0 - (1.0 - cnot_error) ** n_cx * (1.0 - sq_error) ** n_1q
+    return candidate.hs_distance + infidelity
+
+
+def noise_aware_strategy(
+    cnot_error: float, *, sq_error: float = 3e-4
+) -> SelectionStrategy:
+    """Minimise the predicted total error for a given device noise level.
+
+    As the device's CNOT error grows, this strategy automatically shifts
+    from the minimal-HS circuit toward shorter, cruder ones — exactly the
+    behaviour the paper's §6.2 sweeps show the *actual* best circuit has.
+    """
+
+    def select(pool: ApproximateCircuitSet) -> ApproximateCircuit:
+        return min(
+            pool,
+            key=lambda c: predicted_total_error(
+                c, cnot_error, sq_error=sq_error
+            ),
+        )
+
+    return SelectionStrategy(f"noise_aware(p={cnot_error:g})", select)
+
+
+def oracle_strategy(
+    backend,
+    error_of: Callable[[np.ndarray], float],
+) -> SelectionStrategy:
+    """Select by executing every candidate (the paper's simulate-and-pick).
+
+    ``error_of`` maps a measured distribution to a scalar error (lower is
+    better) — e.g. ``lambda probs: abs(magnetization(probs) - ideal)``.
+    """
+
+    def select(pool: ApproximateCircuitSet) -> ApproximateCircuit:
+        return min(pool, key=lambda c: error_of(backend.run(c.circuit)))
+
+    return SelectionStrategy("oracle", select)
+
+
+def standard_strategies(cnot_error: float) -> List[SelectionStrategy]:
+    """The comparison set used by the selection ablation."""
+    return [
+        minimal_hs_strategy(),
+        shortest_strategy(),
+        hs_threshold_strategy(0.1),
+        hs_threshold_strategy(0.3),
+        noise_aware_strategy(cnot_error),
+    ]
+
+
+def evaluate_strategies(
+    pool: ApproximateCircuitSet,
+    strategies: Sequence[SelectionStrategy],
+    backend,
+    error_of: Callable[[np.ndarray], float],
+) -> Dict[str, Dict[str, float]]:
+    """Race strategies on one pool: measured error of each one's pick.
+
+    Returns ``{strategy: {"cnots": ..., "hs": ..., "error": ...}}`` plus an
+    ``"oracle"`` row giving the pool's true best for reference.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for strategy in strategies:
+        pick = strategy.select(pool)
+        out[strategy.name] = {
+            "cnots": float(pick.cnot_count),
+            "hs": float(pick.hs_distance),
+            "error": float(error_of(backend.run(pick.circuit))),
+        }
+    best = min(pool, key=lambda c: error_of(backend.run(c.circuit)))
+    out["oracle"] = {
+        "cnots": float(best.cnot_count),
+        "hs": float(best.hs_distance),
+        "error": float(error_of(backend.run(best.circuit))),
+    }
+    return out

@@ -1,0 +1,67 @@
+"""Noise channels, device noise models and calibration snapshots."""
+
+from .channels import (
+    KrausChannel,
+    ReadoutError,
+    identity_channel,
+    depolarizing_channel,
+    bit_flip_channel,
+    phase_flip_channel,
+    pauli_channel,
+    amplitude_damping_channel,
+    phase_damping_channel,
+    thermal_relaxation_channel,
+    compose_channels,
+    apply_readout_errors,
+)
+from .model import GateError, NoiseModel
+from .devices import (
+    DeviceSnapshot,
+    get_device,
+    available_devices,
+    TABLE1_CNOT_ERRORS,
+)
+from .sweep import cnot_error_sweep, PAPER_SWEEP_LEVELS
+from .tomography import (
+    state_tomography,
+    process_tomography,
+    choi_matrix,
+    process_fidelity_to_channel,
+)
+from .mitigation import (
+    invert_readout,
+    mitigate_readout,
+    richardson_extrapolate,
+    zne_observable,
+)
+
+__all__ = [
+    "KrausChannel",
+    "ReadoutError",
+    "identity_channel",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "pauli_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "compose_channels",
+    "apply_readout_errors",
+    "GateError",
+    "NoiseModel",
+    "DeviceSnapshot",
+    "get_device",
+    "available_devices",
+    "TABLE1_CNOT_ERRORS",
+    "cnot_error_sweep",
+    "PAPER_SWEEP_LEVELS",
+    "invert_readout",
+    "mitigate_readout",
+    "richardson_extrapolate",
+    "zne_observable",
+    "state_tomography",
+    "process_tomography",
+    "choi_matrix",
+    "process_fidelity_to_channel",
+]

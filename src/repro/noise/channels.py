@@ -1,0 +1,318 @@
+"""Quantum noise channels in Kraus form, plus classical readout error.
+
+These are the same channels Qiskit Aer builds its device noise models from
+(the paper's simulation substrate): depolarizing errors attached to gates,
+thermal relaxation from ``T1``/``T2`` and gate duration, and a classical
+readout confusion matrix per qubit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..linalg.unitary import apply_matrix_to_state
+
+__all__ = [
+    "KrausChannel",
+    "identity_channel",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "pauli_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "compose_channels",
+    "ReadoutError",
+]
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Tensor product of single-qubit Paulis; rightmost letter = qubit 0."""
+    out = np.array([[1.0]], dtype=np.complex128)
+    for ch in label:
+        out = np.kron(out, _PAULIS[ch])
+    return out
+
+
+class KrausChannel:
+    """A CPTP map given by Kraus operators ``rho -> sum_i K_i rho K_i^+``."""
+
+    def __init__(self, kraus_ops: Sequence[np.ndarray], name: str = "kraus") -> None:
+        ops = [np.asarray(k, dtype=np.complex128) for k in kraus_ops]
+        if not ops:
+            raise ValueError("channel needs at least one Kraus operator")
+        dim = ops[0].shape[0]
+        for k in ops:
+            if k.shape != (dim, dim):
+                raise ValueError("all Kraus operators must share a square shape")
+        self.kraus = np.stack(ops)
+        self.name = name
+        self._superop: Optional[np.ndarray] = None
+        n = int(round(math.log2(dim)))
+        if 2**n != dim:
+            raise ValueError(f"Kraus dimension {dim} is not a power of two")
+        self.num_qubits = n
+
+    @property
+    def dim(self) -> int:
+        return self.kraus.shape[1]
+
+    def is_trace_preserving(self, atol: float = 1e-9) -> bool:
+        """Check the completeness relation ``sum_i K_i^+ K_i = I``."""
+        acc = np.einsum("kij,kil->jl", self.kraus.conj(), self.kraus)
+        return bool(np.allclose(acc, np.eye(self.dim), atol=atol))
+
+    def is_unital(self, atol: float = 1e-9) -> bool:
+        """Check ``sum_i K_i K_i^+ = I`` (identity is a fixed point)."""
+        acc = np.einsum("kij,klj->il", self.kraus, self.kraus.conj())
+        return bool(np.allclose(acc, np.eye(self.dim), atol=atol))
+
+    def superoperator(self) -> np.ndarray:
+        """The channel's local superoperator ``S = sum_i K_i (x) K_i^*``.
+
+        Acting on the column-stacked local density matrix:
+        ``S[(a,b),(c,d)] = sum_i K_i[a,c] conj(K_i)[b,d]`` with row-major
+        pair flattening. Cached — building it once turns every later
+        ``apply`` into a single matmul.
+        """
+        if self._superop is None:
+            d = self.dim
+            s = np.einsum("kac,kbd->abcd", self.kraus, self.kraus.conj())
+            self._superop = np.ascontiguousarray(s.reshape(d * d, d * d))
+        return self._superop
+
+    def apply(
+        self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> np.ndarray:
+        """Apply the channel to ``qubits`` of an ``n``-qubit density matrix.
+
+        One matmul with the cached local superoperator, independent of the
+        number of Kraus operators (a 2-qubit depolarizing channel has 16).
+        """
+        k = self.num_qubits
+        if len(qubits) != k:
+            raise ValueError(f"channel is {k}-qubit, got qubits {qubits}")
+        n = num_qubits
+        dim = 2**n
+        if rho.shape != (dim, dim):
+            raise ValueError("density matrix shape mismatch")
+        tensor = rho.reshape((2,) * (2 * n))
+        # Local row/col axes in superoperator bit order (high bit first).
+        row_axes = [n - 1 - qubits[k - 1 - j] for j in range(k)]
+        col_axes = [2 * n - 1 - qubits[k - 1 - j] for j in range(k)]
+        moved = np.moveaxis(tensor, row_axes + col_axes, list(range(2 * k)))
+        flat = np.ascontiguousarray(moved).reshape(4**k, -1)
+        flat = self.superoperator() @ flat
+        moved = flat.reshape((2,) * (2 * k) + moved.shape[2 * k :])
+        tensor = np.moveaxis(moved, list(range(2 * k)), row_axes + col_axes)
+        return np.ascontiguousarray(tensor).reshape(dim, dim)
+
+    def apply_reference(
+        self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> np.ndarray:
+        """Direct Kraus-sum implementation (kept to validate ``apply``)."""
+        out = np.zeros_like(rho)
+        for k in self.kraus:
+            left = apply_matrix_to_state(k, rho, qubits, num_qubits)
+            # Right-multiply by K^dagger: X K^+ = (K X^+)^+.
+            term = apply_matrix_to_state(
+                k, left.conj().T, qubits, num_qubits
+            ).conj().T
+            out += term
+        return out
+
+    def compose(self, other: "KrausChannel") -> "KrausChannel":
+        """The channel "self then other" on the same qubits."""
+        if self.dim != other.dim:
+            raise ValueError("channel dimension mismatch")
+        ops = [k2 @ k1 for k2 in other.kraus for k1 in self.kraus]
+        return KrausChannel(ops, name=f"{other.name}({self.name})")
+
+    def expand(self, other: "KrausChannel") -> "KrausChannel":
+        """Tensor product with ``other`` acting on *higher* qubits."""
+        ops = [np.kron(k2, k1) for k2 in other.kraus for k1 in self.kraus]
+        return KrausChannel(ops, name=f"{other.name}⊗{self.name}")
+
+    def average_fidelity(self) -> float:
+        """Average gate fidelity to the identity channel.
+
+        ``F_avg = (sum_i |Tr K_i|^2 / d + d) / (d^2 + d)`` — the standard
+        entanglement-fidelity relation.
+        """
+        d = self.dim
+        f_e = sum(abs(np.trace(k)) ** 2 for k in self.kraus) / d**2
+        return float((d * f_e + 1) / (d + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KrausChannel({self.name!r}, {self.num_qubits}q, {len(self.kraus)} ops)"
+
+
+def identity_channel(num_qubits: int = 1) -> KrausChannel:
+    return KrausChannel([np.eye(2**num_qubits)], name="id")
+
+
+def depolarizing_channel(p: float, num_qubits: int = 1) -> KrausChannel:
+    """The depolarizing channel ``rho -> (1-p) rho + p I/d``.
+
+    ``p`` is the *depolarizing probability* (Qiskit's convention); ``p = 0``
+    is the identity and ``p = 1`` fully mixes.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"depolarizing probability {p} outside [0, 1]")
+    d = 2**num_qubits
+    labels = ["".join(s) for s in _pauli_labels(num_qubits)]
+    coeff_id = math.sqrt(1.0 - p * (d**2 - 1) / d**2)
+    coeff_p = math.sqrt(p) / d
+    ops = [coeff_id * pauli_matrix(labels[0])]
+    ops += [coeff_p * pauli_matrix(lbl) for lbl in labels[1:]]
+    return KrausChannel(ops, name=f"depol({p:.4g},{num_qubits}q)")
+
+
+def _pauli_labels(num_qubits: int) -> List[str]:
+    labels = [""]
+    for _ in range(num_qubits):
+        labels = [l + ch for l in labels for ch in "IXYZ"]
+    # Identity first regardless of construction order.
+    ident = "I" * num_qubits
+    labels.remove(ident)
+    return [ident] + labels
+
+
+def bit_flip_channel(p: float) -> KrausChannel:
+    """Flip ``|0> <-> |1>`` with probability ``p``."""
+    return pauli_channel({"I": 1 - p, "X": p})
+
+
+def phase_flip_channel(p: float) -> KrausChannel:
+    """Apply ``Z`` with probability ``p``."""
+    return pauli_channel({"I": 1 - p, "Z": p})
+
+
+def pauli_channel(probabilities: dict) -> KrausChannel:
+    """A general Pauli channel from ``{label: probability}``."""
+    total = sum(probabilities.values())
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"Pauli probabilities sum to {total}, expected 1")
+    ops = []
+    for label, prob in probabilities.items():
+        if prob < 0:
+            raise ValueError("negative probability")
+        if prob > 0:
+            ops.append(math.sqrt(prob) * pauli_matrix(label))
+    return KrausChannel(ops, name="pauli")
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """Energy relaxation ``|1> -> |0>`` with probability ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma {gamma} outside [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]])
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]])
+    return KrausChannel([k0, k1], name=f"amp_damp({gamma:.4g})")
+
+
+def phase_damping_channel(lam: float) -> KrausChannel:
+    """Pure dephasing: off-diagonals shrink by ``sqrt(1 - lam)``."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError(f"lambda {lam} outside [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - lam)]])
+    k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(lam)]])
+    return KrausChannel([k0, k1], name=f"phase_damp({lam:.4g})")
+
+
+def thermal_relaxation_channel(
+    t1: float, t2: float, gate_time: float
+) -> KrausChannel:
+    """Combined T1/T2 relaxation over ``gate_time`` (same units as T1/T2).
+
+    Implemented as amplitude damping with ``gamma = 1 - exp(-t/T1)``
+    followed by the extra pure dephasing needed so total coherence decay is
+    ``exp(-t/T2)``. Requires the physical constraint ``T2 <= 2 T1``.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-9:
+        raise ValueError(f"unphysical T2 {t2} > 2*T1 {2 * t1}")
+    if gate_time < 0:
+        raise ValueError("gate_time must be non-negative")
+    gamma = 1.0 - math.exp(-gate_time / t1)
+    # Amplitude damping already decays coherence by exp(-t / 2 T1); add
+    # dephasing for the remaining exp(-t (1/T2 - 1/(2 T1))).
+    residual = math.exp(-gate_time * (1.0 / t2 - 1.0 / (2.0 * t1)))
+    residual = min(1.0, residual)
+    lam = 1.0 - residual**2
+    channel = amplitude_damping_channel(gamma).compose(
+        phase_damping_channel(lam)
+    )
+    channel.name = f"thermal(t1={t1:.4g},t2={t2:.4g},t={gate_time:.4g})"
+    return channel
+
+
+def compose_channels(*channels: KrausChannel) -> KrausChannel:
+    """Left-to-right composition: the first channel acts first."""
+    if not channels:
+        raise ValueError("need at least one channel")
+    out = channels[0]
+    for ch in channels[1:]:
+        out = out.compose(ch)
+    return out
+
+
+class ReadoutError:
+    """Classical measurement confusion for one qubit.
+
+    ``p01`` = P(read 1 | prepared 0), ``p10`` = P(read 0 | prepared 1).
+    The confusion matrix ``A`` maps true probabilities to observed ones:
+    ``A[i, j] = P(observe i | true j)``.
+    """
+
+    def __init__(self, p01: float, p10: float) -> None:
+        for name, p in (("p01", p01), ("p10", p10)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        self.p01 = float(p01)
+        self.p10 = float(p10)
+        self.matrix = np.array(
+            [[1.0 - p01, p10], [p01, 1.0 - p10]], dtype=np.float64
+        )
+
+    @property
+    def assignment_fidelity(self) -> float:
+        """Average probability of a correct readout."""
+        return 1.0 - 0.5 * (self.p01 + self.p10)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReadoutError(p01={self.p01:.4g}, p10={self.p10:.4g})"
+
+
+def apply_readout_errors(
+    probabilities: np.ndarray,
+    errors: Sequence[Optional[ReadoutError]],
+) -> np.ndarray:
+    """Apply per-qubit confusion matrices to a basis-state distribution.
+
+    ``errors[q]`` is the readout error of qubit ``q`` (``None`` = ideal).
+    Fully vectorised: one small tensordot per noisy qubit.
+    """
+    num_qubits = len(errors)
+    if probabilities.size != 2**num_qubits:
+        raise ValueError("distribution size does not match error list")
+    tensor = probabilities.reshape((2,) * num_qubits)
+    for q, err in enumerate(errors):
+        if err is None:
+            continue
+        axis = num_qubits - 1 - q
+        tensor = np.tensordot(err.matrix, tensor, axes=([1], [axis]))
+        tensor = np.moveaxis(tensor, 0, axis)
+    return np.ascontiguousarray(tensor).reshape(-1)

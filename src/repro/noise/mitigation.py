@@ -1,0 +1,138 @@
+"""Error-mitigation post-processing.
+
+The paper's related-work section wonders "whether the benefits of
+approximate circuits will hold for processes which require post-processing
+or manipulation of error levels, as these may end up interfering with the
+noise which the approximate circuits rely on". This module implements the
+two standard techniques that question refers to, so the interaction can be
+measured:
+
+* **readout mitigation** — invert the per-qubit confusion matrices
+  (tensor-product structure, so inversion is per-qubit and cheap) and
+  project the result back onto the probability simplex;
+* **zero-noise extrapolation (ZNE)** — evaluate an observable at several
+  artificially scaled noise levels (via
+  :meth:`~repro.noise.model.NoiseModel.scaled`) and Richardson-extrapolate
+  to zero noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .channels import ReadoutError
+from .model import NoiseModel
+
+__all__ = [
+    "invert_readout",
+    "mitigate_readout",
+    "richardson_extrapolate",
+    "zne_observable",
+]
+
+
+def invert_readout(
+    probabilities: np.ndarray,
+    errors: Sequence[Optional[ReadoutError]],
+) -> np.ndarray:
+    """Undo per-qubit readout confusion by matrix inversion.
+
+    The confusion matrix of ``n`` independent qubits is the tensor product
+    of 2x2 matrices, so its inverse applies one small solve per qubit.
+    The raw inverse can leave the simplex (negative quasi-probabilities);
+    see :func:`mitigate_readout` for the projected version.
+    """
+    num_qubits = len(errors)
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.size != 2**num_qubits:
+        raise ValueError("distribution size does not match error list")
+    tensor = probs.reshape((2,) * num_qubits)
+    for q, err in enumerate(errors):
+        if err is None:
+            continue
+        inverse = np.linalg.inv(err.matrix)
+        axis = num_qubits - 1 - q
+        tensor = np.tensordot(inverse, tensor, axes=([1], [axis]))
+        tensor = np.moveaxis(tensor, 0, axis)
+    return np.ascontiguousarray(tensor).reshape(-1)
+
+
+def _project_to_simplex(quasi: np.ndarray) -> np.ndarray:
+    """Closest probability vector in Euclidean distance (Held et al.)."""
+    n = quasi.size
+    sorted_q = np.sort(quasi)[::-1]
+    cumulative = np.cumsum(sorted_q)
+    rho = np.nonzero(sorted_q + (1.0 - cumulative) / np.arange(1, n + 1) > 0)[0][-1]
+    tau = (cumulative[rho] - 1.0) / (rho + 1.0)
+    return np.clip(quasi - tau, 0.0, None)
+
+
+def mitigate_readout(
+    probabilities: np.ndarray,
+    errors: Sequence[Optional[ReadoutError]],
+) -> np.ndarray:
+    """Readout mitigation: inversion followed by simplex projection."""
+    quasi = invert_readout(probabilities, errors)
+    if (quasi >= -1e-12).all():
+        out = np.clip(quasi, 0.0, None)
+        return out / out.sum()
+    return _project_to_simplex(quasi)
+
+
+def richardson_extrapolate(
+    scales: Sequence[float], values: Sequence[float]
+) -> float:
+    """Richardson extrapolation of ``values(scale)`` to ``scale = 0``.
+
+    With ``k`` points this fits the unique degree ``k-1`` polynomial and
+    evaluates it at zero — the standard ZNE estimator.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if scales.size != values.size or scales.size < 2:
+        raise ValueError("need >= 2 (scale, value) pairs")
+    if len(set(scales.tolist())) != scales.size:
+        raise ValueError("scales must be distinct")
+    # Lagrange basis evaluated at 0.
+    total = 0.0
+    for i in range(scales.size):
+        weight = 1.0
+        for j in range(scales.size):
+            if i != j:
+                weight *= scales[j] / (scales[j] - scales[i])
+        total += weight * values[i]
+    return float(total)
+
+
+def zne_observable(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    observable: Callable[[np.ndarray], float],
+    *,
+    scales: Sequence[float] = (1.0, 1.5, 2.0),
+    with_readout_error: bool = True,
+) -> float:
+    """Zero-noise extrapolation of an observable under a noise model.
+
+    Runs the circuit under ``noise_model.scaled(s)`` for each ``s`` and
+    Richardson-extrapolates the observable to ``s = 0``. Depolarizing
+    components scale linearly with ``s``; thermal and readout components
+    are held fixed (they are not controllable by gate-level noise scaling
+    on hardware either).
+    """
+    from ..sim.density_matrix import DensityMatrixSimulator
+
+    values: List[float] = []
+    for scale in scales:
+        if scale <= 0:
+            raise ValueError("scales must be positive")
+        model = noise_model.scaled(scale)
+        sim = DensityMatrixSimulator(model)
+        probs = sim.probabilities(
+            circuit, with_readout_error=with_readout_error
+        )
+        values.append(observable(probs))
+    return richardson_extrapolate(list(scales), values)

@@ -1,0 +1,176 @@
+"""Quantum process tomography by linear inversion.
+
+Reconstructs the process (superoperator) of a noisy operation from
+prepare-and-measure data alone, exactly as one would characterise a gate
+on hardware. Used to *verify* the reproduction's noise models from the
+outside: tomographing a simulated noisy gate recovers the channel that
+was injected (see ``tests/test_tomography.py``), closing the loop between
+the model layer and the simulator layer.
+
+Method (single- and two-qubit processes):
+
+* prepare the informationally complete single-qubit basis
+  ``{|0>, |1>, |+>, |+i>}`` on each involved qubit (preparation gates are
+  assumed ideal — this is SPAM-free tomography; fold SPAM error into the
+  process if it should be characterised too),
+* apply the process,
+* estimate the output density matrix by measuring in the X/Y/Z bases
+  (state tomography via Pauli expectations),
+* solve the linear system mapping input matrices to outputs for the
+  superoperator, and convert to the Choi matrix / average fidelity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .channels import KrausChannel
+
+__all__ = [
+    "state_tomography",
+    "process_tomography",
+    "choi_matrix",
+    "process_fidelity_to_channel",
+]
+
+_PAULI = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+#: Informationally complete input states (density matrices) per qubit.
+_INPUT_STATES: Dict[str, np.ndarray] = {
+    "0": np.array([[1, 0], [0, 0]], dtype=np.complex128),
+    "1": np.array([[0, 0], [0, 1]], dtype=np.complex128),
+    "+": 0.5 * np.array([[1, 1], [1, 1]], dtype=np.complex128),
+    "i": 0.5 * np.array([[1, -1j], [1j, 1]], dtype=np.complex128),
+}
+
+#: Circuits preparing each input state from |0>.
+def _prep_gates(label: str, qubit: int, circuit: QuantumCircuit) -> None:
+    if label == "0":
+        return
+    if label == "1":
+        circuit.x(qubit)
+    elif label == "+":
+        circuit.h(qubit)
+    elif label == "i":
+        circuit.h(qubit)
+        circuit.s(qubit)
+    else:
+        raise ValueError(f"unknown input label {label!r}")
+
+
+def _pauli_matrix(label: str) -> np.ndarray:
+    out = np.array([[1.0]], dtype=np.complex128)
+    for ch in label:
+        out = np.kron(out, _PAULI[ch])
+    return out
+
+
+def state_tomography(
+    expectation: Callable[[str], float], num_qubits: int
+) -> np.ndarray:
+    """Reconstruct a density matrix from Pauli expectations.
+
+    ``expectation(label)`` returns ``<P_label>`` for an ``num_qubits``-wide
+    Pauli label (MSB-first). Uses the Pauli expansion
+    ``rho = (1/d) sum_P <P> P``.
+    """
+    dim = 2**num_qubits
+    rho = np.zeros((dim, dim), dtype=np.complex128)
+    for letters in itertools.product("IXYZ", repeat=num_qubits):
+        label = "".join(letters)
+        value = 1.0 if label == "I" * num_qubits else expectation(label)
+        rho += value * _pauli_matrix(label)
+    return rho / dim
+
+
+def process_tomography(
+    apply_process: Callable[[QuantumCircuit], np.ndarray],
+    num_qubits: int,
+) -> np.ndarray:
+    """Reconstruct a process superoperator from prepare/measure data.
+
+    Parameters
+    ----------
+    apply_process:
+        Executes ``prep_circuit ; process`` and returns the *output
+        density matrix* over the process qubits. (With a density-matrix
+        simulator this is exact; with counts, build it from measured
+        Pauli expectations via :func:`state_tomography`.)
+    num_qubits:
+        Width of the process (1 or 2 supported).
+
+    Returns
+    -------
+    numpy.ndarray
+        The column-stacking superoperator ``S`` with
+        ``vec(E(rho)) = S vec(rho)`` (row-major vec, matching
+        :meth:`repro.noise.channels.KrausChannel.superoperator`).
+    """
+    if num_qubits not in (1, 2):
+        raise ValueError("process tomography implemented for 1-2 qubits")
+    dim = 2**num_qubits
+    labels = list(_INPUT_STATES)
+
+    inputs: List[np.ndarray] = []
+    outputs: List[np.ndarray] = []
+    for combo in itertools.product(labels, repeat=num_qubits):
+        # combo[i] prepares qubit (num_qubits-1-i) so the label reads
+        # MSB-first like Pauli labels.
+        prep = QuantumCircuit(num_qubits, name=f"prep_{''.join(combo)}")
+        for position, label in enumerate(combo):
+            _prep_gates(label, num_qubits - 1 - position, prep)
+        rho_in = np.array([[1.0]], dtype=np.complex128)
+        for label in combo:
+            rho_in = np.kron(rho_in, _INPUT_STATES[label])
+        inputs.append(rho_in.reshape(-1))
+        outputs.append(np.asarray(apply_process(prep)).reshape(-1))
+
+    basis = np.stack(inputs, axis=1)  # (d^2, n_inputs)
+    images = np.stack(outputs, axis=1)
+    # S @ basis = images  ->  S = images @ pinv(basis)
+    return images @ np.linalg.pinv(basis)
+
+
+def choi_matrix(superoperator: np.ndarray) -> np.ndarray:
+    """Choi matrix of a (row-major vec) superoperator.
+
+    ``J = sum_{ij} E(|i><j|) (x) |i><j|``; positive semidefinite iff the
+    process is completely positive.
+    """
+    d2 = superoperator.shape[0]
+    d = int(round(np.sqrt(d2)))
+    if d * d != d2 or superoperator.shape != (d2, d2):
+        raise ValueError("superoperator must be d^2 x d^2")
+    choi = np.zeros((d * d, d * d), dtype=np.complex128)
+    for i in range(d):
+        for j in range(d):
+            e_ij = np.zeros((d, d), dtype=np.complex128)
+            e_ij[i, j] = 1.0
+            image = (superoperator @ e_ij.reshape(-1)).reshape(d, d)
+            choi += np.kron(image, e_ij)
+    return choi
+
+
+def process_fidelity_to_channel(
+    superoperator: np.ndarray, channel: KrausChannel
+) -> float:
+    """Normalised overlap between a measured process and a model channel.
+
+    ``F = Tr(S_model^+ S_measured) / d^2`` — equals 1 iff they agree.
+    """
+    model = channel.superoperator()
+    if model.shape != superoperator.shape:
+        raise ValueError("dimension mismatch")
+    d2 = model.shape[0]
+    norm = float(np.real(np.trace(model.conj().T @ model)))
+    overlap = float(np.real(np.trace(model.conj().T @ superoperator)))
+    return overlap / max(norm, 1e-300)

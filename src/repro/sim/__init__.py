@@ -1,0 +1,31 @@
+"""Simulators: ideal statevector, exact noisy density matrix, shot sampling."""
+
+from .statevector import Statevector, StatevectorSimulator
+from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .trajectory import TrajectorySimulator
+from .stabilizer import StabilizerSimulator, StabilizerState, CLIFFORD_GATES
+from .sampler import sample_counts, counts_to_probabilities, Counts
+from .expectation import (
+    z_expectation,
+    average_magnetization,
+    pauli_z_signs,
+    parity_expectation,
+)
+
+__all__ = [
+    "Statevector",
+    "StatevectorSimulator",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "TrajectorySimulator",
+    "StabilizerSimulator",
+    "StabilizerState",
+    "CLIFFORD_GATES",
+    "sample_counts",
+    "counts_to_probabilities",
+    "Counts",
+    "z_expectation",
+    "average_magnetization",
+    "pauli_z_signs",
+    "parity_expectation",
+]

@@ -1,0 +1,65 @@
+"""Shot sampling from measurement distributions.
+
+Converts exact distributions into finite-shot counts the way hardware
+returns them; the :class:`~repro.hardware.backend.FakeHardware` backend uses
+this so hardware-style experiments include shot noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["sample_counts", "counts_to_probabilities", "Counts"]
+
+Counts = Dict[str, int]
+
+
+def sample_counts(
+    probabilities: np.ndarray,
+    shots: int,
+    *,
+    num_qubits: Optional[int] = None,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> Counts:
+    """Draw ``shots`` samples, returning ``{bitstring: count}``.
+
+    Bitstrings are MSB-first (qubit ``n-1`` leftmost), matching Qiskit's
+    counts dictionaries. Uses a single multinomial draw — O(dim), not
+    O(shots).
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if num_qubits is None:
+        num_qubits = int(round(np.log2(probs.size)))
+    if 2**num_qubits != probs.size:
+        raise ValueError("distribution size is not a power of two")
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    probs = probs / total
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    draws = rng.multinomial(shots, probs)
+    out: Counts = {}
+    for index in np.nonzero(draws)[0]:
+        out[format(index, f"0{num_qubits}b")] = int(draws[index])
+    return out
+
+
+def counts_to_probabilities(counts: Counts, num_qubits: Optional[int] = None) -> np.ndarray:
+    """Empirical distribution from a counts dictionary."""
+    if not counts:
+        raise ValueError("empty counts")
+    if num_qubits is None:
+        num_qubits = len(next(iter(counts)))
+    probs = np.zeros(2**num_qubits, dtype=np.float64)
+    total = 0
+    for bitstring, count in counts.items():
+        if len(bitstring) != num_qubits:
+            raise ValueError(f"inconsistent bitstring width {bitstring!r}")
+        probs[int(bitstring, 2)] += count
+        total += count
+    return probs / total

@@ -1,0 +1,245 @@
+"""Tableau-based stabilizer (Clifford) simulation.
+
+An Aaronson-Gottesman CHP simulator: Clifford circuits (H, S, CX and
+friends) over hundreds of qubits in polynomial time, versus the
+exponential statevector. Used for
+
+* fast validation of Clifford sub-circuits at widths the dense simulators
+  cannot touch,
+* cross-validation of the dense engines on Clifford circuits (the test
+  suite compares all three),
+* Clifford-sequence generation for randomized benchmarking.
+
+The tableau holds ``2n`` generators (destabilizers then stabilizers) as
+X/Z bit matrices plus a sign vector; measurement follows the standard CHP
+update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["StabilizerState", "StabilizerSimulator", "CLIFFORD_GATES"]
+
+#: Gate names the stabilizer engine accepts.
+CLIFFORD_GATES = frozenset(
+    {"i", "id", "x", "y", "z", "h", "s", "sdg", "sx", "cx", "cz", "swap",
+     "barrier", "delay"}
+)
+
+
+class StabilizerState:
+    """A pure stabilizer state on ``n`` qubits (CHP tableau)."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        n = num_qubits
+        self.num_qubits = n
+        # Rows 0..n-1: destabilizers; rows n..2n-1: stabilizers.
+        self.x = np.zeros((2 * n, n), dtype=bool)
+        self.z = np.zeros((2 * n, n), dtype=bool)
+        self.r = np.zeros(2 * n, dtype=bool)  # sign bits
+        for i in range(n):
+            self.x[i, i] = True       # destabilizer X_i
+            self.z[n + i, i] = True   # stabilizer Z_i
+
+    # ------------------------------------------------------------------
+    # Gate updates (standard CHP rules)
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, q: int) -> None:
+        self.s(q)
+        self.z_gate(q)
+
+    def x_gate(self, q: int) -> None:
+        self.r ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        self.r ^= self.x[:, q]
+
+    def y_gate(self, q: int) -> None:
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def sx(self, q: int) -> None:
+        # sx = h s h up to global phase
+        self.h(q)
+        self.s(q)
+        self.h(q)
+
+    def cx(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ True)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def cz(self, a: int, b: int) -> None:
+        self.h(b)
+        self.cx(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int) -> None:
+        self.cx(a, b)
+        self.cx(b, a)
+        self.cx(a, b)
+
+    # ------------------------------------------------------------------
+    # Pauli row algebra
+    # ------------------------------------------------------------------
+    def _row_product_phase(self, h: int, i: int) -> int:
+        """Exponent of i (mod 4) when multiplying row h by row i."""
+        phase = 0
+        for q in range(self.num_qubits):
+            x1, z1 = self.x[i, q], self.z[i, q]
+            x2, z2 = self.x[h, q], self.z[h, q]
+            if x1 and z1:  # Y
+                phase += int(z2) - int(x2)
+            elif x1:  # X
+                phase += int(z2) * (2 * int(x2) - 1)
+            elif z1:  # Z
+                phase += int(x2) * (1 - 2 * int(z2))
+        return phase % 4
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h <- row i * row h (Pauli product), tracking signs."""
+        phase = 2 * (int(self.r[h]) + int(self.r[i])) + self._row_product_phase(h, i)
+        self.r[h] = (phase % 4) == 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure(self, q: int, rng: np.random.Generator) -> int:
+        """Measure qubit ``q`` in the Z basis (collapsing the state)."""
+        n = self.num_qubits
+        anticommuting = [
+            p for p in range(n, 2 * n) if self.x[p, q]
+        ]
+        if anticommuting:
+            # Random outcome.
+            p = anticommuting[0]
+            for i in range(2 * n):
+                if i != p and self.x[i, q]:
+                    self._rowsum(i, p)
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = False
+            self.z[p] = False
+            self.z[p, q] = True
+            outcome = int(rng.integers(2))
+            self.r[p] = bool(outcome)
+            return outcome
+        # Deterministic outcome: accumulate into scratch row via rowsum.
+        # Use an extra virtual row implemented with temporary arrays.
+        scratch_x = np.zeros(n, dtype=bool)
+        scratch_z = np.zeros(n, dtype=bool)
+        scratch_r = 0  # phase exponent mod 4
+        for i in range(n):
+            if self.x[i, q]:
+                stab = n + i
+                # phase of product scratch * stabilizer
+                phase = 0
+                for k in range(n):
+                    x1, z1 = self.x[stab, k], self.z[stab, k]
+                    x2, z2 = scratch_x[k], scratch_z[k]
+                    if x1 and z1:
+                        phase += int(z2) - int(x2)
+                    elif x1:
+                        phase += int(z2) * (2 * int(x2) - 1)
+                    elif z1:
+                        phase += int(x2) * (1 - 2 * int(z2))
+                scratch_r = (scratch_r + 2 * int(self.r[stab]) + phase) % 4
+                scratch_x ^= self.x[stab]
+                scratch_z ^= self.z[stab]
+        return 1 if scratch_r == 2 else 0
+
+    def expectation_z(self, q: int) -> float:
+        """``<Z_q>`` without collapsing (+1, -1 or 0 for random)."""
+        n = self.num_qubits
+        if any(self.x[p, q] for p in range(n, 2 * n)):
+            return 0.0
+        clone = self.copy()
+        outcome = clone.measure(q, np.random.default_rng(0))
+        return 1.0 - 2.0 * outcome
+
+    def copy(self) -> "StabilizerState":
+        out = StabilizerState(self.num_qubits)
+        out.x = self.x.copy()
+        out.z = self.z.copy()
+        out.r = self.r.copy()
+        return out
+
+
+class StabilizerSimulator:
+    """Clifford-circuit execution on the tableau representation."""
+
+    def __init__(self, seed: Union[int, np.random.Generator, None] = None) -> None:
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+
+    def run(self, circuit: QuantumCircuit) -> StabilizerState:
+        state = StabilizerState(circuit.num_qubits)
+        for gate in circuit:
+            name = gate.name
+            if name in ("barrier", "delay", "id", "i"):
+                continue
+            if name == "measure":
+                continue
+            if name not in CLIFFORD_GATES:
+                raise ValueError(
+                    f"gate {name!r} is not Clifford; use a dense simulator"
+                )
+            if name == "h":
+                state.h(gate.qubits[0])
+            elif name == "s":
+                state.s(gate.qubits[0])
+            elif name == "sdg":
+                state.sdg(gate.qubits[0])
+            elif name == "x":
+                state.x_gate(gate.qubits[0])
+            elif name == "y":
+                state.y_gate(gate.qubits[0])
+            elif name == "z":
+                state.z_gate(gate.qubits[0])
+            elif name == "sx":
+                state.sx(gate.qubits[0])
+            elif name == "cx":
+                state.cx(*gate.qubits)
+            elif name == "cz":
+                state.cz(*gate.qubits)
+            elif name == "swap":
+                state.swap(*gate.qubits)
+        return state
+
+    def sample(self, circuit: QuantumCircuit, shots: int = 1024) -> Dict[str, int]:
+        """Measure all qubits ``shots`` times (re-running the tableau)."""
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        base = self.run(circuit)
+        counts: Dict[str, int] = {}
+        n = circuit.num_qubits
+        for _ in range(shots):
+            state = base.copy()
+            bits = [str(state.measure(q, self._rng)) for q in range(n)]
+            key = "".join(reversed(bits))  # MSB-first
+            counts[key] = counts.get(key, 0) + 1
+        return counts

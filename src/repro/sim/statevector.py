@@ -1,0 +1,92 @@
+"""Ideal (noise-free) statevector simulation.
+
+This provides the paper's "noise free reference" series: the circuit run on
+perfect hardware. Gate application is a single tensor contraction per gate
+(:func:`repro.linalg.unitary.apply_matrix_to_state`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..linalg.unitary import apply_matrix_to_state
+
+__all__ = ["StatevectorSimulator", "Statevector"]
+
+
+class Statevector:
+    """An ``n``-qubit pure state with measurement helpers."""
+
+    def __init__(self, data: np.ndarray, num_qubits: Optional[int] = None) -> None:
+        data = np.asarray(data, dtype=np.complex128).reshape(-1)
+        n = int(round(np.log2(data.size)))
+        if 2**n != data.size:
+            raise ValueError(f"state size {data.size} is not a power of two")
+        if num_qubits is not None and num_qubits != n:
+            raise ValueError("num_qubits does not match state size")
+        self.data = data
+        self.num_qubits = n
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        data = np.zeros(2**num_qubits, dtype=np.complex128)
+        data[0] = 1.0
+        return cls(data)
+
+    def probabilities(self) -> np.ndarray:
+        """Born-rule probabilities over computational basis states."""
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, bitstring: str) -> float:
+        """Probability of one outcome; bitstring is MSB-first (qubit n-1 left)."""
+        if len(bitstring) != self.num_qubits:
+            raise ValueError("bitstring length mismatch")
+        return float(self.probabilities()[int(bitstring, 2)])
+
+    def expectation_z(self, qubit: int) -> float:
+        """The expectation value ``<Z_qubit>``."""
+        probs = self.probabilities()
+        signs = 1.0 - 2.0 * ((np.arange(probs.size) >> qubit) & 1)
+        return float(np.dot(probs, signs))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|^2``."""
+        return float(np.abs(np.vdot(self.data, other.data)) ** 2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Statevector({self.num_qubits} qubits)"
+
+
+class StatevectorSimulator:
+    """Exact pure-state circuit execution."""
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[Statevector] = None,
+    ) -> Statevector:
+        """Evolve ``initial_state`` (default ``|0...0>``) through the circuit.
+
+        Measurements and barriers are skipped: the returned object is the
+        pre-measurement state (measurement statistics come from
+        :meth:`Statevector.probabilities`).
+        """
+        n = circuit.num_qubits
+        if initial_state is None:
+            state = Statevector.zero_state(n).data
+        else:
+            if initial_state.num_qubits != n:
+                raise ValueError("initial state width mismatch")
+            state = initial_state.data.copy()
+        for gate in circuit:
+            if not gate.is_unitary or gate.name == "barrier":
+                continue
+            state = apply_matrix_to_state(gate.matrix(), state, gate.qubits, n)
+        return Statevector(state)
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Shortcut: final measurement distribution of the circuit."""
+        return self.run(circuit).probabilities()

@@ -1,0 +1,46 @@
+"""Instrumented circuit synthesis: QSearch/QFast analogues + approximations."""
+
+from .objective import (
+    hs_distance,
+    hs_overlap,
+    CircuitStructure,
+    HilbertSchmidtObjective,
+    optimize_structure,
+    OptimizationResult,
+)
+from .qsearch import QSearchSynthesizer, SynthesisRecord, SynthesisResult
+from .qfast import QFastSynthesizer
+from .twoq import decompose_two_qubit_unitary
+from .compression import CompressionSynthesizer, structure_from_circuit
+from .fastgrad import StructureEvaluator
+from .partition import CircuitBlock, PartitionedSynthesizer, partition_circuit
+from .approximations import (
+    ApproximateCircuit,
+    ApproximateCircuitSet,
+    generate_approximate_circuits,
+    MIN_HS_THRESHOLD,
+)
+
+__all__ = [
+    "hs_distance",
+    "hs_overlap",
+    "CircuitStructure",
+    "HilbertSchmidtObjective",
+    "optimize_structure",
+    "OptimizationResult",
+    "QSearchSynthesizer",
+    "SynthesisRecord",
+    "SynthesisResult",
+    "QFastSynthesizer",
+    "decompose_two_qubit_unitary",
+    "CompressionSynthesizer",
+    "structure_from_circuit",
+    "StructureEvaluator",
+    "CircuitBlock",
+    "PartitionedSynthesizer",
+    "partition_circuit",
+    "ApproximateCircuit",
+    "ApproximateCircuitSet",
+    "generate_approximate_circuits",
+    "MIN_HS_THRESHOLD",
+]

@@ -1,0 +1,285 @@
+"""Approximate-circuit pools: generation, filtering and selection.
+
+The paper's method (§3): run an instrumented synthesis tool, keep every
+intermediate circuit, filter to a Hilbert-Schmidt threshold of *at least*
+0.1 ("in order to have a wide range of circuits but none which differ
+entirely from the target"), then study the whole pool under noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..utils.cache import cache_key, load_records, store_records
+from .objective import CircuitStructure, hs_distance
+from .qfast import QFastSynthesizer
+from .qsearch import Edge, QSearchSynthesizer, SynthesisRecord, SynthesisResult
+
+__all__ = [
+    "ApproximateCircuit",
+    "ApproximateCircuitSet",
+    "generate_approximate_circuits",
+    "MIN_HS_THRESHOLD",
+]
+
+#: The paper never filters tighter than this ("maximum HS distance
+#: threshold of at least 0.1").
+MIN_HS_THRESHOLD = 0.1
+
+
+@dataclass(frozen=True)
+class ApproximateCircuit:
+    """One approximate candidate with its provenance."""
+
+    circuit: QuantumCircuit
+    hs_distance: float
+    cnot_count: int
+    source: str = "qsearch"
+
+    def __post_init__(self) -> None:
+        if self.hs_distance < 0:
+            raise ValueError("negative HS distance")
+
+
+class ApproximateCircuitSet:
+    """A pool of approximate circuits for one target unitary."""
+
+    def __init__(
+        self,
+        target: np.ndarray,
+        circuits: Iterable[ApproximateCircuit],
+        *,
+        exact: Optional[ApproximateCircuit] = None,
+    ) -> None:
+        self.target = np.asarray(target, dtype=np.complex128)
+        self.circuits: List[ApproximateCircuit] = sorted(
+            circuits, key=lambda c: (c.cnot_count, c.hs_distance)
+        )
+        #: The converged (HS ~ 0) circuit when synthesis succeeded.
+        self.exact = exact
+
+    def __len__(self) -> int:
+        return len(self.circuits)
+
+    def __iter__(self):
+        return iter(self.circuits)
+
+    def __getitem__(self, idx) -> ApproximateCircuit:
+        return self.circuits[idx]
+
+    @property
+    def num_qubits(self) -> int:
+        return int(round(np.log2(self.target.shape[0])))
+
+    def filtered(self, max_hs: float) -> "ApproximateCircuitSet":
+        """Keep candidates within an HS threshold (paper: >= 0.1)."""
+        return ApproximateCircuitSet(
+            self.target,
+            [c for c in self.circuits if c.hs_distance <= max_hs],
+            exact=self.exact,
+        )
+
+    def minimal_hs(self) -> ApproximateCircuit:
+        """The paper's "Minimal HS" selection: best process distance."""
+        if not self.circuits:
+            raise ValueError("empty circuit set")
+        return min(self.circuits, key=lambda c: c.hs_distance)
+
+    def shortest(self) -> ApproximateCircuit:
+        if not self.circuits:
+            raise ValueError("empty circuit set")
+        return min(self.circuits, key=lambda c: (c.cnot_count, c.hs_distance))
+
+    def cnot_counts(self) -> List[int]:
+        return sorted({c.cnot_count for c in self.circuits})
+
+    def by_cnot_count(self, count: int) -> List[ApproximateCircuit]:
+        return [c for c in self.circuits if c.cnot_count == count]
+
+    def best_per_cnot_count(self) -> Dict[int, ApproximateCircuit]:
+        """Lowest-HS candidate at each CNOT depth."""
+        out: Dict[int, ApproximateCircuit] = {}
+        for c in self.circuits:
+            current = out.get(c.cnot_count)
+            if current is None or c.hs_distance < current.hs_distance:
+                out[c.cnot_count] = c
+        return out
+
+    def summary(self) -> str:
+        counts = self.cnot_counts()
+        return (
+            f"{len(self.circuits)} approximate circuits over "
+            f"{self.num_qubits} qubits; CNOTs {counts[0]}..{counts[-1]}; "
+            f"HS {min(c.hs_distance for c in self.circuits):.4f}.."
+            f"{max(c.hs_distance for c in self.circuits):.4f}"
+            if counts
+            else "empty set"
+        )
+
+
+def _records_to_dicts(records: Sequence[SynthesisRecord]) -> List[dict]:
+    return [
+        {
+            "placements": [list(p) for p in r.structure.placements],
+            "params": list(map(float, r.params)),
+            "hs": float(r.hs_distance),
+        }
+        for r in records
+    ]
+
+
+def _dicts_to_records(
+    num_qubits: int, dicts: Sequence[dict]
+) -> List[SynthesisRecord]:
+    out = []
+    for d in dicts:
+        structure = CircuitStructure(
+            num_qubits, tuple(tuple(p) for p in d["placements"])
+        )
+        out.append(
+            SynthesisRecord(
+                structure=structure,
+                params=np.asarray(d["params"], dtype=np.float64),
+                hs_distance=float(d["hs"]),
+            )
+        )
+    return out
+
+
+def _dedupe(records: List[SynthesisRecord]) -> List[SynthesisRecord]:
+    """Drop near-duplicate candidates (same structure, ~same distance)."""
+    seen = set()
+    out = []
+    for r in records:
+        key = (r.structure.placements, round(r.hs_distance, 4))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(r)
+    return out
+
+
+def generate_approximate_circuits(
+    target: Union[np.ndarray, QuantumCircuit],
+    *,
+    tool: str = "qsearch",
+    coupling: Optional[Sequence[Edge]] = None,
+    max_hs: float = MIN_HS_THRESHOLD,
+    max_cnots: Optional[int] = None,
+    seed: int = 7,
+    use_cache: bool = True,
+    synthesizer_options: Optional[dict] = None,
+    reference: Optional[QuantumCircuit] = None,
+) -> ApproximateCircuitSet:
+    """Run an instrumented synthesis tool and pool its intermediates.
+
+    Parameters
+    ----------
+    target:
+        Target unitary or a circuit (whose unitary becomes the target,
+        mirroring ``qiskit.quantum_info.Operator(circuit).data``).
+    tool:
+        ``"qsearch"`` (A*, many intermediates), ``"qfast"`` (greedy beam,
+        fewer intermediates, scales wider), or ``"compress"`` (block
+        deletion from a known exact ``reference`` — the right tool for
+        permutation-like targets whose HS landscape defeats growth-based
+        search).
+    coupling:
+        CNOT placement restriction (device layout awareness); ignored by
+        ``"compress"``, which inherits the reference's placements.
+    max_hs:
+        Keep intermediates at HS distance <= this; the paper never goes
+        below 0.1. Pass ``float("inf")`` to keep everything.
+    max_cnots:
+        Override the tool's depth limit.
+    seed:
+        Seed for the synthesis optimiser restarts (full determinism).
+    use_cache:
+        Reuse cached synthesis runs for identical (target, settings).
+    reference:
+        Exact ``{1q, cx}`` circuit for ``tool="compress"``; when ``target``
+        is itself a circuit it doubles as the default reference.
+    """
+    if isinstance(target, QuantumCircuit):
+        if reference is None:
+            reference = target
+        target = target.unitary()
+    target = np.asarray(target, dtype=np.complex128)
+    num_qubits = int(round(np.log2(target.shape[0])))
+
+    if max_hs < MIN_HS_THRESHOLD:
+        raise ValueError(
+            f"max_hs must be >= {MIN_HS_THRESHOLD} (paper's widest filter); "
+            f"got {max_hs}"
+        )
+
+    options = dict(synthesizer_options or {})
+    if max_cnots is not None:
+        options["max_cnots"] = max_cnots
+    settings = {
+        "tool": tool,
+        "coupling": sorted(map(tuple, coupling)) if coupling else None,
+        "seed": seed,
+        "options": {k: repr(v) for k, v in sorted(options.items())},
+        "version": 4,
+    }
+    if tool == "compress":
+        if reference is None:
+            raise ValueError('tool="compress" needs a reference circuit')
+        from ..circuits.qasm import to_qasm
+
+        settings["reference"] = to_qasm(reference)
+    key = cache_key(target, settings)
+
+    records: Optional[List[SynthesisRecord]] = None
+    if use_cache:
+        cached = load_records(key)
+        if cached is not None:
+            records = _dicts_to_records(num_qubits, cached)
+
+    if records is None:
+        if tool == "qsearch":
+            synth = QSearchSynthesizer(coupling, seed=seed, **options)
+            result = synth.synthesize(target)
+        elif tool == "qfast":
+            synth = QFastSynthesizer(coupling, seed=seed, **options)
+            result = synth.synthesize(target)
+        elif tool == "compress":
+            from .compression import CompressionSynthesizer
+
+            options.pop("beam_width", None)
+            options.pop("patience", None)
+            synth = CompressionSynthesizer(seed=seed, **options)
+            result = synth.synthesize(target, reference)
+        else:
+            raise ValueError(f"unknown synthesis tool {tool!r}")
+        records = result.intermediates
+        if use_cache:
+            store_records(key, _records_to_dicts(records))
+
+    records = _dedupe(records)
+    pool = [
+        ApproximateCircuit(
+            circuit=r.circuit(),
+            hs_distance=r.hs_distance,
+            cnot_count=r.cnot_count,
+            source=tool,
+        )
+        for r in records
+        if r.hs_distance <= max_hs
+    ]
+    exact_records = [r for r in records if r.hs_distance < 1e-6]
+    exact = None
+    if exact_records:
+        r = min(exact_records, key=lambda r: (r.cnot_count, r.hs_distance))
+        exact = ApproximateCircuit(
+            circuit=r.circuit(name="exact_synth"),
+            hs_distance=r.hs_distance,
+            cnot_count=r.cnot_count,
+            source=tool,
+        )
+    return ApproximateCircuitSet(target, pool, exact=exact)

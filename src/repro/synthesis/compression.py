@@ -1,0 +1,210 @@
+"""Approximation by circuit compression.
+
+The growth-based searches (QSearch's A*, QFast's beam) excel on smooth
+targets like TFIM steps, but the Hilbert-Schmidt landscape of
+permutation-like targets (multi-control Toffolis) has a wide plateau that
+random restarts essentially never escape — the same scaling wall the paper
+hits ("wider circuits ... result in excessive search cost", §6.1).
+
+For such targets this module generates the approximate pool from the other
+direction, in the spirit of the QFactor optimizer the paper's roadmap
+points to: start from a *known exact* reference circuit, losslessly encode
+it into the synthesis ansatz, then repeatedly delete one CNOT block and
+re-optimise all remaining parameters warm-started. Each deletion yields a
+shorter, slightly-less-exact circuit; the full trajectory is a frontier of
+approximations from "exact and deep" to "crude and shallow" — precisely
+the population the paper's Toffoli figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..linalg.decompositions import u3_params_from_unitary
+from .objective import CircuitStructure, optimize_structure
+from .qsearch import SynthesisRecord, SynthesisResult
+
+__all__ = ["structure_from_circuit", "CompressionSynthesizer"]
+
+
+def structure_from_circuit(
+    circuit: QuantumCircuit,
+) -> Tuple[CircuitStructure, np.ndarray]:
+    """Exactly encode a ``{1q, cx}`` circuit into the QSearch ansatz.
+
+    Any circuit over one-qubit gates and CNOTs equals (up to global phase)
+    the ansatz whose placements are its CNOT sequence: every run of
+    one-qubit gates on a wire merges into the U3 slot that follows the
+    previous CNOT touching that wire (or the initial layer). Returns the
+    structure plus the exact parameter vector.
+    """
+    n = circuit.num_qubits
+    placements: List[Tuple[int, int]] = []
+    for gate in circuit:
+        if gate.name == "cx":
+            placements.append(gate.qubits)
+        elif gate.name in ("barrier", "measure"):
+            continue
+        elif gate.num_qubits != 1:
+            raise ValueError(
+                f"structure_from_circuit needs a {{1q, cx}} circuit; "
+                f"found {gate.name!r}"
+            )
+    structure = CircuitStructure(n, tuple(placements))
+
+    # Slot bookkeeping: each qubit accumulates 1q matrices into its open
+    # slot; a CNOT on (a, b) closes both and opens the block's two slots.
+    num_params = structure.num_params
+    params = np.zeros(num_params)
+    slot_offset = {q: 3 * q for q in range(n)}
+    slot_matrix = {q: np.eye(2, dtype=np.complex128) for q in range(n)}
+    block = 0
+
+    def flush(q: int) -> None:
+        theta, phi, lam = u3_params_from_unitary(slot_matrix[q])
+        off = slot_offset[q]
+        params[off : off + 3] = (theta, phi, lam)
+        slot_matrix[q] = np.eye(2, dtype=np.complex128)
+
+    for gate in circuit:
+        if gate.name in ("barrier", "measure"):
+            continue
+        if gate.name == "cx":
+            a, b = gate.qubits
+            flush(a)
+            flush(b)
+            base = 3 * n + 6 * block
+            slot_offset[a] = base
+            slot_offset[b] = base + 3
+            block += 1
+            continue
+        q = gate.qubits[0]
+        slot_matrix[q] = gate.matrix() @ slot_matrix[q]
+    for q in range(n):
+        flush(q)
+    return structure, params
+
+
+class CompressionSynthesizer:
+    """Generate approximations by block deletion from an exact reference.
+
+    Parameters
+    ----------
+    trial_drops:
+        CNOT blocks tried per deletion round (the best is committed; all
+        trials join the intermediate pool).
+    min_cnots:
+        Stop once the circuit is this shallow.
+    stride:
+        Delete this many blocks per committed step for very deep
+        references (keeps pool generation linear in depth).
+    """
+
+    def __init__(
+        self,
+        *,
+        trial_drops: int = 3,
+        min_cnots: int = 0,
+        stride: int = 1,
+        maxiter: int = 150,
+        restarts: int = 0,
+        optimizer: str = "L-BFGS-B",
+        seed: Optional[int] = None,
+        success_threshold: float = 1e-8,
+        max_cnots: Optional[int] = None,
+    ) -> None:
+        self.trial_drops = max(1, trial_drops)
+        self.min_cnots = min_cnots
+        self.stride = max(1, stride)
+        self.maxiter = maxiter
+        self.restarts = restarts
+        self.optimizer = optimizer
+        self.seed = seed
+        self.success_threshold = success_threshold
+        self.max_cnots = max_cnots  # optional pre-truncation of the pool
+
+    def synthesize(
+        self,
+        target: np.ndarray,
+        reference: QuantumCircuit,
+    ) -> SynthesisResult:
+        target = np.asarray(target, dtype=np.complex128)
+        rng = np.random.default_rng(self.seed)
+        structure, params = structure_from_circuit(reference)
+        if target.shape != (2**structure.num_qubits,) * 2:
+            raise ValueError("target width does not match the reference")
+
+        intermediates: List[SynthesisRecord] = []
+        explored = 0
+
+        def evaluate(
+            struct: CircuitStructure, warm: Optional[np.ndarray]
+        ) -> SynthesisRecord:
+            nonlocal explored
+            result = optimize_structure(
+                target,
+                struct,
+                restarts=self.restarts,
+                initial_params=warm,
+                method=self.optimizer,
+                maxiter=self.maxiter,
+                rng=rng,
+                tol=self.success_threshold,
+            )
+            record = SynthesisRecord(
+                structure=struct, params=result.params, hs_distance=result.cost
+            )
+            intermediates.append(record)
+            explored += 1
+            return record
+
+        current = evaluate(structure, params)
+        best = current
+
+        while current.cnot_count > self.min_cnots:
+            placements = current.structure.placements
+            k = len(placements)
+            drops = min(self.stride, k - self.min_cnots)
+            candidates: List[SynthesisRecord] = []
+            indices = rng.choice(
+                k - drops + 1,
+                size=min(self.trial_drops, k - drops + 1),
+                replace=False,
+            )
+            for start in indices:
+                new_placements = (
+                    placements[: int(start)] + placements[int(start) + drops :]
+                )
+                new_struct = CircuitStructure(
+                    current.structure.num_qubits, new_placements
+                )
+                warm = self._drop_params(
+                    current.params, current.structure, int(start), drops
+                )
+                candidates.append(evaluate(new_struct, warm))
+            current = min(candidates, key=lambda r: r.hs_distance)
+            if current.hs_distance < best.hs_distance:
+                best = current
+
+        success = best.hs_distance < self.success_threshold
+        if self.max_cnots is not None:
+            intermediates = [
+                r for r in intermediates if r.cnot_count <= self.max_cnots
+            ]
+        return SynthesisResult(best, intermediates, success, explored, target)
+
+    @staticmethod
+    def _drop_params(
+        params: np.ndarray,
+        structure: CircuitStructure,
+        start: int,
+        drops: int,
+    ) -> np.ndarray:
+        """Warm-start vector after deleting blocks ``start..start+drops-1``."""
+        n = structure.num_qubits
+        lo = 3 * n + 6 * start
+        hi = lo + 6 * drops
+        return np.concatenate([params[:lo], params[hi:]])

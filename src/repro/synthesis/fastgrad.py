@@ -1,0 +1,162 @@
+"""Fast objective evaluation for the QSearch ansatz.
+
+Synthesis spends its whole budget evaluating ``cost(params)`` and its
+gradient for structures of the fixed shape "U3 layer + (CX + U3 pair)*".
+The generic path (:mod:`repro.linalg.gradients`) costs ~90 tensordot calls
+per evaluation, which is pure Python/NumPy dispatch overhead at these
+dimensions (8-32). This evaluator exploits the ansatz's structure:
+
+* CX is a basis permutation — applying it is one fancy-index, no matmul;
+* a one-qubit gate application is one broadcast ``matmul`` on a
+  ``(X, 2, Y*N)`` view — no tensordot, no moveaxis;
+* the objective only needs ``Tr(T^+ dU/dp)``, never ``dU/dp`` itself; by
+  trace cyclicity ``Tr(T^+ S dE P) = Tr((P T^+ S) dE)``, so each gate's
+  three parameter derivatives reduce to one matmul plus a 2x2 partial
+  trace.
+
+Net effect: ~10x fewer NumPy calls per evaluation, which translates
+directly into synthesis throughput. Results are bit-compatible with the
+generic path (cross-validated in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..linalg.gradients import u3_matrix_and_derivatives
+from .objective import CircuitStructure
+
+__all__ = ["StructureEvaluator"]
+
+
+class StructureEvaluator:
+    """Pre-compiled cost/gradient evaluator for one (target, structure)."""
+
+    def __init__(self, target: np.ndarray, structure: CircuitStructure) -> None:
+        self.structure = structure
+        n = structure.num_qubits
+        self.num_qubits = n
+        self.dim = 2**n
+        target = np.asarray(target, dtype=np.complex128)
+        if target.shape != (self.dim, self.dim):
+            raise ValueError("target/structure dimension mismatch")
+        self.target = target
+        self.target_adj = np.ascontiguousarray(target.conj().T)
+        self.num_params = structure.num_params
+
+        # Op tape: ("u3", qubit, param_offset) | ("cx", permutation).
+        idx = np.arange(self.dim)
+        ops: List[Tuple] = []
+        offset = 0
+        for q in range(n):
+            ops.append(("u3", q, offset))
+            offset += 3
+        for a, b in structure.placements:
+            perm = np.where((idx >> a) & 1 == 1, idx ^ (1 << b), idx)
+            ops.append(("cx", perm))
+            for q in (a, b):
+                ops.append(("u3", q, offset))
+                offset += 3
+        self.ops = ops
+        # Per-qubit (X, Y) split: axis sizes around the qubit's bit.
+        self._xy = [(2 ** (n - 1 - q), 2**q) for q in range(n)]
+
+    # ------------------------------------------------------------------
+    def _apply_1q(self, gate: np.ndarray, mat: np.ndarray, qubit: int) -> np.ndarray:
+        """``embed(gate) @ mat`` for a one-qubit gate (mat is (dim, dim))."""
+        x, y = self._xy[qubit]
+        view = mat.reshape(x, 2, y * self.dim)
+        return np.matmul(gate, view).reshape(self.dim, self.dim)
+
+    def _apply_1q_batch(
+        self, gates: np.ndarray, mat: np.ndarray, qubit: int
+    ) -> np.ndarray:
+        """Apply a batch of 2x2 matrices: returns (batch, dim, dim)."""
+        x, y = self._xy[qubit]
+        view = mat.reshape(x, 2, y * self.dim)
+        out = np.matmul(gates[:, None, :, :], view[None, :, :, :])
+        return out.reshape(gates.shape[0], self.dim, self.dim)
+
+    def _u3_matrices(self, params: np.ndarray):
+        mats = []
+        for kind, arg, *rest in self.ops:
+            if kind == "u3":
+                off = rest[0]
+                mats.append(u3_matrix_and_derivatives(*params[off : off + 3]))
+            else:
+                mats.append(None)
+        return mats
+
+    # ------------------------------------------------------------------
+    def unitary(self, params: np.ndarray) -> np.ndarray:
+        params = np.asarray(params, dtype=np.float64)
+        u = np.eye(self.dim, dtype=np.complex128)
+        mats = self._u3_matrices(params)
+        for op, m in zip(self.ops, mats):
+            if op[0] == "u3":
+                u = self._apply_1q(m[0], u, op[1])
+            else:
+                u = u[op[1]]
+        return u
+
+    def smooth_cost(self, params: np.ndarray) -> float:
+        u = self.unitary(params)
+        overlap = abs(np.einsum("ij,ij->", self.target.conj(), u)) / self.dim
+        return max(0.0, 1.0 - overlap * overlap)
+
+    def hs_distance(self, params: np.ndarray) -> float:
+        return math.sqrt(max(0.0, self.smooth_cost(params)))
+
+    def smooth_cost_and_grad(
+        self, params: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        params = np.asarray(params, dtype=np.float64)
+        n_ops = len(self.ops)
+        mats = self._u3_matrices(params)
+
+        # Forward sweep: prefixes[j] = product of ops[0..j-1] applied to I.
+        prefixes: List[np.ndarray] = [np.eye(self.dim, dtype=np.complex128)]
+        acc = prefixes[0]
+        for op, m in zip(self.ops, mats):
+            if op[0] == "u3":
+                acc = self._apply_1q(m[0], acc, op[1])
+            else:
+                acc = acc[op[1]]
+            prefixes.append(acc)
+        u = prefixes[-1]
+
+        t_conj = self.target.conj()
+        overlap = np.einsum("ij,ij->", t_conj, u)
+        d = float(self.dim)
+        val = max(0.0, 1.0 - (abs(overlap) / d) ** 2)
+
+        grad = np.zeros(self.num_params, dtype=np.float64)
+        # Backward sweep. Maintain M_T = (T^+ S_j)^T where S_j is the
+        # product of ops[j..L-1]; fold each op into M_T from the right.
+        # Right-multiplying M by embed(g) equals applying embed(g^T) to
+        # M^T, which reuses the same fast kernels.
+        m_t = np.ascontiguousarray(self.target_adj.T)  # (T^+)^T, S_L = I
+        coeff = -2.0 * np.conj(overlap) / (d * d)
+        for j in range(n_ops - 1, -1, -1):
+            op = self.ops[j]
+            if op[0] == "u3":
+                qubit, off = op[1], op[2]
+                gate, dgate = mats[j]
+                # A = P_{j-1} @ (T^+ S_j) = prefixes[j] @ m_t.T
+                a = prefixes[j] @ m_t.T
+                # Partial trace over all qubits except `qubit`:
+                # B[b, a] = sum_{x,y} A[(x,b,y), (x,a,y)].
+                x, y = self._xy[qubit]
+                a6 = a.reshape(x, 2, y, x, 2, y)
+                b = np.einsum("xbyxay->ba", a6)
+                # inner_p = Tr(A dE_p) = sum(dG_p * B^T)
+                inner = np.einsum("pab,ab->p", dgate, b.T)
+                grad[off : off + 3] = np.real(coeff * inner)
+                # Fold gate into the suffix: m_t = embed(g^T) @ m_t.
+                m_t = self._apply_1q(gate.T, m_t, qubit)
+            else:
+                m_t = m_t[op[1]]
+        return val, grad

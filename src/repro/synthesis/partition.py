@@ -1,0 +1,186 @@
+"""Partitioned approximation of wide circuits (paper §6.5).
+
+QSearch is limited to ~4 qubits and QFast to ~6, so the paper proposes
+"breaking a large program into pieces; it may be possible to create a
+large circuit out of many small circuits". This module implements that
+idea:
+
+1. **Partition** a circuit into contiguous blocks, each touching at most
+   ``max_block_qubits`` qubits (greedy sweep: a block closes when adding
+   the next gate would widen it past the limit).
+2. **Approximate** each block independently with the instrumented
+   synthesiser, producing a per-block frontier of (CNOT count, HS
+   distance) candidates.
+3. **Splice** one candidate per block back into a full-width circuit. A
+   per-block HS budget ``epsilon`` selects the cheapest candidate within
+   budget; sweeping ``epsilon`` yields a frontier of full circuits from
+   "exact and deep" to "crude and shallow".
+
+The total HS error is approximately sub-additive over blocks (for small
+errors, ``d(AB, A'B') <= d(A, A') + d(B, B')`` up to second order), which
+the property tests check empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from .approximations import (
+    ApproximateCircuit,
+    ApproximateCircuitSet,
+    generate_approximate_circuits,
+)
+from .objective import hs_distance
+
+__all__ = ["CircuitBlock", "partition_circuit", "PartitionedSynthesizer"]
+
+
+@dataclass
+class CircuitBlock:
+    """A contiguous slice of a circuit over a small qubit subset.
+
+    ``qubits[i]`` is the parent-circuit qubit playing local role ``i``.
+    """
+
+    qubits: Tuple[int, ...]
+    circuit: QuantumCircuit  # over local indices 0..len(qubits)-1
+
+    @property
+    def width(self) -> int:
+        return len(self.qubits)
+
+
+def partition_circuit(
+    circuit: QuantumCircuit, max_block_qubits: int = 3
+) -> List[CircuitBlock]:
+    """Split into contiguous blocks over at most ``max_block_qubits`` qubits.
+
+    Greedy: gates join the current block while the union of touched qubits
+    stays within the limit; otherwise the block is closed and a new one
+    starts. Barriers and measurements close the current block.
+    """
+    if max_block_qubits < 2:
+        raise ValueError("blocks need at least 2 qubits")
+    blocks: List[CircuitBlock] = []
+    current_gates: List[Gate] = []
+    current_qubits: set = set()
+
+    def close() -> None:
+        nonlocal current_gates, current_qubits
+        if not current_gates:
+            return
+        ordered = tuple(sorted(current_qubits))
+        local = {q: i for i, q in enumerate(ordered)}
+        sub = QuantumCircuit(len(ordered), name="block")
+        for g in current_gates:
+            sub.append(Gate(g.name, tuple(local[q] for q in g.qubits), g.params))
+        blocks.append(CircuitBlock(ordered, sub))
+        current_gates = []
+        current_qubits = set()
+
+    for gate in circuit:
+        if gate.name in ("barrier", "measure"):
+            close()
+            continue
+        if gate.num_qubits > max_block_qubits:
+            raise ValueError(
+                f"gate {gate.name!r} is wider than the block limit"
+            )
+        union = current_qubits | set(gate.qubits)
+        if len(union) > max_block_qubits:
+            close()
+            union = set(gate.qubits)
+        current_gates.append(gate)
+        current_qubits = union
+    close()
+    return blocks
+
+
+class PartitionedSynthesizer:
+    """Approximate a wide circuit block-by-block.
+
+    Parameters
+    ----------
+    max_block_qubits:
+        Partition width limit (QSearch-friendly: 2-3).
+    tool:
+        Synthesis tool used per block.
+    budgets:
+        Per-block HS budgets to sweep when splicing; each budget yields
+        one full-width candidate.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_block_qubits: int = 3,
+        tool: str = "qsearch",
+        budgets: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5),
+        seed: int = 17,
+        synthesizer_options: Optional[dict] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.max_block_qubits = max_block_qubits
+        self.tool = tool
+        self.budgets = tuple(budgets)
+        self.seed = seed
+        self.synthesizer_options = dict(synthesizer_options or {})
+        self.use_cache = use_cache
+
+    # ------------------------------------------------------------------
+    def block_pools(
+        self, blocks: Sequence[CircuitBlock]
+    ) -> List[ApproximateCircuitSet]:
+        pools = []
+        for i, block in enumerate(blocks):
+            pools.append(
+                generate_approximate_circuits(
+                    block.circuit.unitary(),
+                    tool=self.tool,
+                    max_hs=float("inf"),
+                    seed=self.seed + i,
+                    use_cache=self.use_cache,
+                    synthesizer_options=dict(self.synthesizer_options),
+                )
+            )
+        return pools
+
+    @staticmethod
+    def _pick(pool: ApproximateCircuitSet, budget: float) -> ApproximateCircuit:
+        """Cheapest candidate within the HS budget (else the most exact)."""
+        within = [c for c in pool if c.hs_distance <= budget]
+        if within:
+            return min(within, key=lambda c: (c.cnot_count, c.hs_distance))
+        return pool.minimal_hs()
+
+    def synthesize(self, circuit: QuantumCircuit) -> ApproximateCircuitSet:
+        """Produce a frontier of full-width approximations of ``circuit``."""
+        target = circuit.unitary()
+        blocks = partition_circuit(circuit, self.max_block_qubits)
+        if not blocks:
+            raise ValueError("circuit has no unitary gates to partition")
+        pools = self.block_pools(blocks)
+
+        candidates: Dict[Tuple[int, ...], ApproximateCircuit] = {}
+        for budget in self.budgets:
+            picks = [self._pick(pool, budget) for pool in pools]
+            signature = tuple(id(p) for p in picks)
+            if signature in candidates:
+                continue
+            full = QuantumCircuit(
+                circuit.num_qubits, name=f"partitioned_eps{budget:g}"
+            )
+            for block, pick in zip(blocks, picks):
+                full.compose(pick.circuit, qubits=block.qubits)
+            candidates[signature] = ApproximateCircuit(
+                circuit=full,
+                hs_distance=hs_distance(target, full.unitary()),
+                cnot_count=full.cnot_count,
+                source=f"partition[{self.tool}]",
+            )
+        return ApproximateCircuitSet(target, candidates.values())

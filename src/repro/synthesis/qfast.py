@@ -1,0 +1,154 @@
+"""QFast-style greedy hierarchical synthesis.
+
+QFast trades the optimality of QSearch's A* for speed: it grows the circuit
+greedily, at each step committing to the block placement that most improves
+the objective, and never backtracks. It therefore "is not guaranteed to be
+optimal and gives less of a choice of approximate circuits, but handles
+circuits with more qubits ... within acceptable search times" (paper §4).
+
+The paper drives the real QFast through
+``model_options={"partial_solution_callback": fn}`` to harvest partial
+solutions; the same interface is reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .objective import CircuitStructure, optimize_structure
+from .qsearch import Edge, SynthesisRecord, SynthesisResult, _default_edges
+
+__all__ = ["QFastSynthesizer"]
+
+
+class QFastSynthesizer:
+    """Greedy block-growth synthesis (a QFast analogue).
+
+    Parameters
+    ----------
+    coupling:
+        Allowed CNOT placements (``None`` = all-to-all).
+    success_threshold:
+        HS distance treated as converged.
+    max_cnots:
+        Growth limit.
+    patience:
+        Consecutive non-improving depth extensions tolerated before the
+        greedy search gives up; raise it to force deep pools for targets
+        (like wide Toffolis) whose cost plateaus before it drops.
+    model_options:
+        Recognises ``"partial_solution_callback"``: a callable invoked with
+        each committed partial circuit (a :class:`QuantumCircuit`) exactly
+        like the paper's harvesting hook.
+    """
+
+    def __init__(
+        self,
+        coupling: Optional[Sequence[Edge]] = None,
+        *,
+        success_threshold: float = 1e-8,
+        max_cnots: int = 24,
+        restarts: int = 1,
+        beam_width: int = 3,
+        patience: int = 2,
+        optimizer: str = "L-BFGS-B",
+        maxiter: int = 250,
+        seed: Optional[int] = None,
+        model_options: Optional[Dict] = None,
+    ) -> None:
+        self.coupling = coupling
+        self.success_threshold = success_threshold
+        self.max_cnots = max_cnots
+        self.restarts = restarts
+        self.beam_width = max(1, beam_width)
+        self.patience = max(1, patience)
+        self.optimizer = optimizer
+        self.maxiter = maxiter
+        self.seed = seed
+        options = dict(model_options or {})
+        self.partial_solution_callback: Optional[
+            Callable[[QuantumCircuit], None]
+        ] = options.pop("partial_solution_callback", None)
+        if options:
+            raise ValueError(f"unknown model_options keys: {sorted(options)}")
+
+    def synthesize(self, target: np.ndarray) -> SynthesisResult:
+        """Greedy growth: commit the best single-block extension each step."""
+        target = np.asarray(target, dtype=np.complex128)
+        num_qubits = int(round(np.log2(target.shape[0])))
+        if target.shape != (2**num_qubits, 2**num_qubits):
+            raise ValueError(f"bad target shape {target.shape}")
+        edges = list(self.coupling) if self.coupling else _default_edges(num_qubits)
+        rng = np.random.default_rng(self.seed)
+
+        intermediates: List[SynthesisRecord] = []
+
+        def evaluate(structure: CircuitStructure, warm) -> SynthesisRecord:
+            result = optimize_structure(
+                target,
+                structure,
+                restarts=self.restarts,
+                initial_params=warm,
+                method=self.optimizer,
+                maxiter=self.maxiter,
+                rng=rng,
+                tol=self.success_threshold,
+            )
+            record = SynthesisRecord(
+                structure=structure,
+                params=result.params,
+                hs_distance=result.cost,
+            )
+            intermediates.append(record)
+            return record
+
+        root = evaluate(CircuitStructure(num_qubits), None)
+        best = root
+        explored = 1
+        self._emit_partial(root)
+
+        # Small-beam greedy growth: expand the few best structures of the
+        # current depth, commit the best few children, never backtrack to a
+        # shallower depth. beam_width=1 is pure greedy; the small default
+        # beam resolves ties between equally-scored first placements.
+        beam: List[SynthesisRecord] = [root]
+        stalls = 0
+        while (
+            best.hs_distance >= self.success_threshold
+            and beam
+            and beam[0].cnot_count < self.max_cnots
+            and stalls < self.patience
+        ):
+            depth_best = min(r.hs_distance for r in beam)
+            children: List[SynthesisRecord] = []
+            for node in beam:
+                for edge in edges:
+                    child = evaluate(node.structure.extended(edge), node.params)
+                    explored += 1
+                    children.append(child)
+                    if child.hs_distance < best.hs_distance:
+                        best = child
+                    if best.hs_distance < self.success_threshold:
+                        self._emit_partial(best)
+                        return SynthesisResult(
+                            best, intermediates, True, explored, target
+                        )
+            if not children:
+                break
+            children.sort(key=lambda r: r.hs_distance)
+            beam = children[: self.beam_width]
+            self._emit_partial(beam[0])
+            if beam[0].hs_distance >= depth_best - 1e-12:
+                stalls += 1
+            else:
+                stalls = 0
+
+        success = best.hs_distance < self.success_threshold
+        return SynthesisResult(best, intermediates, success, explored, target)
+
+    def _emit_partial(self, record: SynthesisRecord) -> None:
+        if self.partial_solution_callback is not None:
+            self.partial_solution_callback(record.circuit(name="qfast_partial"))

@@ -1,0 +1,52 @@
+"""Numerical two-qubit decomposition into at most three CNOTs.
+
+Any two-qubit unitary is expressible with <= 3 CNOTs plus one-qubit gates
+(Vatan-Williams); this routine finds the CNOT-minimal realisation by
+instantiating the QSearch ansatz at increasing depth — the same primitive
+QFast uses to lower its generic blocks to a native gate set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .objective import CircuitStructure, optimize_structure
+
+__all__ = ["decompose_two_qubit_unitary"]
+
+
+def decompose_two_qubit_unitary(
+    target: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    restarts: int = 4,
+    seed: Optional[int] = None,
+) -> Tuple[QuantumCircuit, int]:
+    """Decompose a 4x4 unitary into ``{u3, cx}`` with minimal CNOT count.
+
+    Returns ``(circuit, cnot_count)``; raises if even three CNOTs cannot
+    reach ``tol`` (which indicates a non-unitary input).
+    """
+    target = np.asarray(target, dtype=np.complex128)
+    if target.shape != (4, 4):
+        raise ValueError("expected a 4x4 matrix")
+    rng = np.random.default_rng(seed)
+    for k in range(4):
+        structure = CircuitStructure(2, tuple([(0, 1)] * k))
+        result = optimize_structure(
+            target,
+            structure,
+            restarts=restarts + k,
+            method="L-BFGS-B",
+            maxiter=600,
+            rng=rng,
+            tol=tol,
+        )
+        if result.cost < tol:
+            return result.circuit(name=f"twoq_{k}cx"), k
+    raise ValueError(
+        "could not decompose with 3 CNOTs; is the input actually unitary?"
+    )

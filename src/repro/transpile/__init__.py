@@ -1,0 +1,37 @@
+"""Transpiler: basis translation, layout, routing, optimisation levels."""
+
+from .basis import to_basis_gates, controlled_1q_gates, BASIS_GATES
+from .layout import Layout, trivial_layout, noise_aware_layout, connected_subsets
+from .routing import route_circuit, RoutedCircuit
+from .passes import (
+    merge_single_qubit_gates,
+    cancel_adjacent_cx,
+    drop_trivial_gates,
+    optimize_1q_2q,
+)
+from .scheduling import ScheduledGate, asap_schedule, insert_idle_delays
+from .transpiler import transpile, TranspileResult
+from .verify import equivalent_under_layout, permute_statevector
+
+__all__ = [
+    "to_basis_gates",
+    "controlled_1q_gates",
+    "BASIS_GATES",
+    "Layout",
+    "trivial_layout",
+    "noise_aware_layout",
+    "connected_subsets",
+    "route_circuit",
+    "RoutedCircuit",
+    "merge_single_qubit_gates",
+    "cancel_adjacent_cx",
+    "drop_trivial_gates",
+    "optimize_1q_2q",
+    "transpile",
+    "TranspileResult",
+    "ScheduledGate",
+    "asap_schedule",
+    "insert_idle_delays",
+    "equivalent_under_layout",
+    "permute_statevector",
+]

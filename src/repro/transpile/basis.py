@@ -1,0 +1,167 @@
+"""Translation into the IBM physical basis ``{u1, u3, cx}``.
+
+Every registered gate has either an analytic rewrite rule here or (for
+one-qubit gates) an exact ZYZ rewrite into a single ``u3``. Controlled
+one-qubit gates use the Barenco ABC decomposition, which is also exposed as
+:func:`controlled_1q_gates` for library use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate, gate_matrix
+from ..linalg.decompositions import u3_params_from_unitary, zyz_decomposition
+
+__all__ = ["to_basis_gates", "controlled_1q_gates", "BASIS_GATES"]
+
+BASIS_GATES = ("u1", "u3", "cx")
+
+
+def _u3(qubit: int, theta: float, phi: float, lam: float) -> Gate:
+    return Gate("u3", (qubit,), (theta, phi, lam))
+
+
+def _u3_from_matrix(qubit: int, matrix: np.ndarray) -> Gate:
+    theta, phi, lam = u3_params_from_unitary(matrix)
+    return Gate("u3", (qubit,), (theta, phi, lam))
+
+
+def controlled_1q_gates(matrix: np.ndarray, control: int, target: int) -> List[Gate]:
+    """Barenco ABC decomposition of a controlled one-qubit unitary.
+
+    Writes ``V = e^{i a} Rz(phi) Ry(theta) Rz(lam)`` and emits
+    ``C-V = u1(a)_c . A_t . CX . B_t . CX . C_t`` with ``A B C = I``.
+    Costs exactly two CNOTs for any controlled 1q gate.
+    """
+    theta, phi, lam, alpha = zyz_decomposition(np.asarray(matrix, dtype=np.complex128))
+    gates: List[Gate] = []
+    # C = Rz((lam - phi) / 2)  -> u3(0, 0, (lam - phi)/2)
+    gates.append(_u3(target, 0.0, 0.0, (lam - phi) / 2.0))
+    gates.append(Gate("cx", (control, target)))
+    # B = Ry(-theta/2) Rz(-(phi + lam)/2) -> u3(-theta/2, 0, -(phi+lam)/2)
+    gates.append(_u3(target, -theta / 2.0, 0.0, -(phi + lam) / 2.0))
+    gates.append(Gate("cx", (control, target)))
+    # A = Rz(phi) Ry(theta/2) -> u3(theta/2, phi, 0)
+    gates.append(_u3(target, theta / 2.0, phi, 0.0))
+    if abs(alpha) > 1e-12:
+        gates.append(Gate("u1", (control,), (alpha,)))
+    return gates
+
+
+def _ccx_gates(a: int, b: int, t: int) -> List[Gate]:
+    """The standard six-CNOT Toffoli decomposition."""
+    g = []
+    g.append(Gate("h", (t,)))
+    g.append(Gate("cx", (b, t)))
+    g.append(Gate("tdg", (t,)))
+    g.append(Gate("cx", (a, t)))
+    g.append(Gate("t", (t,)))
+    g.append(Gate("cx", (b, t)))
+    g.append(Gate("tdg", (t,)))
+    g.append(Gate("cx", (a, t)))
+    g.append(Gate("t", (b,)))
+    g.append(Gate("t", (t,)))
+    g.append(Gate("h", (t,)))
+    g.append(Gate("cx", (a, b)))
+    g.append(Gate("t", (a,)))
+    g.append(Gate("tdg", (b,)))
+    g.append(Gate("cx", (a, b)))
+    return g
+
+
+def _expand(gate: Gate) -> List[Gate]:
+    """One rewrite step for a single gate; may emit non-basis gates."""
+    name = gate.name
+    q = gate.qubits
+    if name in ("barrier", "measure", "delay"):
+        return [gate]
+    if name in BASIS_GATES:
+        return [gate]
+    if name == "id":
+        return []
+    if gate.num_qubits == 1:
+        return [_u3_from_matrix(q[0], gate.matrix())]
+    if name == "cz":
+        h = Gate("h", (q[1],))
+        return [h, Gate("cx", q), h]
+    if name == "swap":
+        a, b = q
+        return [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]
+    if name == "rzz":
+        (theta,) = gate.params
+        return [
+            Gate("cx", q),
+            Gate("rz", (q[1],), (theta,)),
+            Gate("cx", q),
+        ]
+    if name == "rxx":
+        (theta,) = gate.params
+        ha, hb = Gate("h", (q[0],)), Gate("h", (q[1],))
+        return [ha, hb, *_expand(Gate("rzz", q, (theta,))), ha, hb]
+    if name == "crx":
+        (theta,) = gate.params
+        return controlled_1q_gates(gate_matrix("rx", (theta,)), q[0], q[1])
+    if name == "cu1":
+        (lam,) = gate.params
+        half = lam / 2.0
+        return [
+            Gate("u1", (q[0],), (half,)),
+            Gate("cx", q),
+            Gate("u1", (q[1],), (-half,)),
+            Gate("cx", q),
+            Gate("u1", (q[1],), (half,)),
+        ]
+    if name == "ccx":
+        return _ccx_gates(*q)
+    if name == "cswap":
+        c, a, b = q
+        return [
+            Gate("cx", (b, a)),
+            *_ccx_gates(c, a, b),
+            Gate("cx", (b, a)),
+        ]
+    if name == "iswap":
+        a, b = q
+        # iswap = (S ⊗ S) . H_a . CX(a,b) . CX(b,a) . H_b
+        return [
+            Gate("s", (a,)),
+            Gate("s", (b,)),
+            Gate("h", (a,)),
+            Gate("cx", (a, b)),
+            Gate("cx", (b, a)),
+            Gate("h", (b,)),
+        ]
+    raise NotImplementedError(f"no basis rewrite rule for gate {name!r}")
+
+
+def to_basis_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a circuit into ``{u1, u3, cx}`` (+ measure/barrier).
+
+    The rewrite is exact: the output unitary equals the input's up to a
+    global phase. Rules may cascade (e.g. ``cswap -> ccx -> h/t/cx ->
+    u3/cx``), so expansion iterates until fixpoint.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    stack = list(reversed(list(circuit)))
+    while stack:
+        gate = stack.pop()
+        expanded = _expand(gate)
+        if len(expanded) == 1 and expanded[0].name == gate.name:
+            final = expanded[0]
+            if final.name in BASIS_GATES or final.name in (
+                "barrier",
+                "measure",
+                "delay",
+            ):
+                out.append(final)
+                continue
+            raise NotImplementedError(
+                f"rewrite of {gate.name!r} did not reach the basis"
+            )
+        stack.extend(reversed(expanded))
+    return out

@@ -1,0 +1,178 @@
+"""Layout selection: mapping virtual qubits onto physical qubits.
+
+Two policies, matching the two transpilation modes the paper uses:
+
+* :func:`trivial_layout` — virtual ``i`` on physical ``i`` ("optimization
+  level 1 with mappings to qubits 0, 1, 2, 3, and 4").
+* :func:`noise_aware_layout` — search connected subsets of the device for
+  the lowest combined CNOT + readout error ("optimization level 3, which
+  ... allows IBM to map virtual qubits to the best available physical
+  qubits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.devices import DeviceSnapshot
+
+__all__ = ["Layout", "trivial_layout", "noise_aware_layout", "connected_subsets"]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """An injective map virtual qubit -> physical qubit."""
+
+    virtual_to_physical: Tuple[int, ...]
+
+    def physical(self, virtual: int) -> int:
+        return self.virtual_to_physical[virtual]
+
+    @property
+    def num_virtual(self) -> int:
+        return len(self.virtual_to_physical)
+
+    @property
+    def physical_qubits(self) -> Tuple[int, ...]:
+        return tuple(self.virtual_to_physical)
+
+    def inverse_map(self) -> Dict[int, int]:
+        return {p: v for v, p in enumerate(self.virtual_to_physical)}
+
+    def __post_init__(self) -> None:
+        if len(set(self.virtual_to_physical)) != len(self.virtual_to_physical):
+            raise ValueError("layout must be injective")
+
+
+def trivial_layout(num_virtual: int) -> Layout:
+    """Virtual ``i`` -> physical ``i``."""
+    return Layout(tuple(range(num_virtual)))
+
+
+def connected_subsets(graph: nx.Graph, size: int) -> List[FrozenSet[int]]:
+    """All connected induced subgraphs of ``size`` nodes.
+
+    Uses the standard grow-from-anchor enumeration with an exclusion set so
+    each subset is produced exactly once. Heavy-hex devices have max degree
+    3, so counts stay small (a few thousand for 65 qubits at size 5).
+    """
+    results: Set[FrozenSet[int]] = set()
+
+    def grow(current: Set[int], frontier: Set[int], banned: Set[int]) -> None:
+        if len(current) == size:
+            results.add(frozenset(current))
+            return
+        frontier = set(frontier)
+        local_banned = set(banned)
+        while frontier:
+            node = frontier.pop()
+            new_frontier = frontier | (
+                set(graph.neighbors(node)) - current - local_banned - {node}
+            )
+            grow(current | {node}, new_frontier, local_banned)
+            local_banned.add(node)
+
+    nodes = sorted(graph.nodes)
+    banned: Set[int] = set()
+    for anchor in nodes:
+        grow({anchor}, set(graph.neighbors(anchor)) - banned, set(banned))
+        banned.add(anchor)
+    return sorted(results, key=sorted)
+
+
+def _subset_score(
+    device: DeviceSnapshot,
+    subset: Sequence[int],
+    *,
+    cnot_weight: float = 1.0,
+    readout_weight: float = 1.0,
+) -> float:
+    """Expected-error score of a physical qubit subset (lower is better)."""
+    sub = list(subset)
+    graph = device.coupling_graph().subgraph(sub)
+    edge_errors = [device.edge_error(a, b) for a, b in graph.edges]
+    readout = [
+        (device.readout_errors[q][0] + device.readout_errors[q][1]) / 2.0
+        for q in sub
+    ]
+    # Fewer couplers means more routing SWAPs, so reward connectivity.
+    connectivity_bonus = len(edge_errors) / max(1, len(sub))
+    return (
+        cnot_weight * float(np.mean(edge_errors))
+        + readout_weight * float(np.mean(readout))
+        - 0.002 * connectivity_bonus
+    )
+
+
+def noise_aware_layout(
+    circuit: QuantumCircuit,
+    device: DeviceSnapshot,
+    *,
+    cnot_weight: float = 1.0,
+    readout_weight: float = 1.0,
+) -> Layout:
+    """Choose the lowest-error connected subset and order it for the circuit.
+
+    Within the winning subset, virtual qubits are assigned greedily so the
+    most CNOT-active virtual pairs land on the lowest-error couplers.
+    """
+    k = circuit.num_qubits
+    if k > device.num_qubits:
+        raise ValueError(
+            f"circuit needs {k} qubits, device {device.name} has {device.num_qubits}"
+        )
+    graph = device.coupling_graph()
+    candidates = connected_subsets(graph, k)
+    if not candidates:
+        raise ValueError(f"{device.name} has no connected subset of size {k}")
+    best = min(
+        candidates,
+        key=lambda s: _subset_score(
+            device, s, cnot_weight=cnot_weight, readout_weight=readout_weight
+        ),
+    )
+    subset = sorted(best)
+
+    # Count virtual-pair CNOT activity.
+    activity: Dict[Tuple[int, int], int] = {}
+    for gate in circuit:
+        if gate.is_unitary and gate.num_qubits == 2:
+            pair = tuple(sorted(gate.qubits))
+            activity[pair] = activity.get(pair, 0) + 1
+
+    # Greedy assignment: hottest virtual pair -> best available coupler.
+    sub_graph = graph.subgraph(subset)
+    edges_by_quality = sorted(
+        sub_graph.edges, key=lambda e: device.edge_error(*e)
+    )
+    assignment: Dict[int, int] = {}
+    used: Set[int] = set()
+    for (va, vb), _count in sorted(activity.items(), key=lambda kv: -kv[1]):
+        if va in assignment and vb in assignment:
+            continue
+        for pa, pb in edges_by_quality:
+            if pa in used or pb in used:
+                continue
+            if va not in assignment and vb not in assignment:
+                assignment[va], assignment[vb] = pa, pb
+                used.update((pa, pb))
+                break
+            anchored, free = (va, vb) if va in assignment else (vb, va)
+            for cand in (pa, pb):
+                if cand not in used and graph.has_edge(assignment[anchored], cand):
+                    assignment[free] = cand
+                    used.add(cand)
+                    break
+            if free in assignment:
+                break
+    # Fill any unassigned virtual qubits with remaining subset members.
+    remaining = [p for p in subset if p not in used]
+    for v in range(k):
+        if v not in assignment:
+            assignment[v] = remaining.pop()
+    return Layout(tuple(assignment[v] for v in range(k)))

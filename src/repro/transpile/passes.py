@@ -1,0 +1,151 @@
+"""Peephole optimisation passes.
+
+These reproduce the gate-count reductions Qiskit's optimisation levels
+apply: merging runs of one-qubit gates into a single ``u3`` and cancelling
+adjacent self-inverse two-qubit gates. Passes preserve the circuit unitary
+up to global phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..linalg.decompositions import u3_params_from_unitary
+
+__all__ = [
+    "merge_single_qubit_gates",
+    "cancel_adjacent_cx",
+    "drop_trivial_gates",
+    "optimize_1q_2q",
+]
+
+_ID_ATOL = 1e-10
+
+
+def merge_single_qubit_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse every maximal run of one-qubit gates into a single ``u3``.
+
+    Runs are per-qubit and are broken by any multi-qubit gate, barrier or
+    measurement touching the qubit. Identity products are dropped.
+    """
+    n = circuit.num_qubits
+    out = QuantumCircuit(n, name=circuit.name)
+    pending: Dict[int, Optional[np.ndarray]] = {q: None for q in range(n)}
+
+    def flush(qubit: int) -> None:
+        acc = pending[qubit]
+        pending[qubit] = None
+        if acc is None:
+            return
+        # Drop if identity up to phase.
+        trace = abs(np.trace(acc))
+        if abs(trace - 2.0) < _ID_ATOL:
+            return
+        theta, phi, lam = u3_params_from_unitary(acc)
+        out.append(Gate("u3", (qubit,), (theta, phi, lam)))
+
+    for gate in circuit:
+        if (
+            gate.is_unitary
+            and gate.num_qubits == 1
+            and gate.name not in ("barrier", "delay")
+        ):
+            q = gate.qubits[0]
+            m = gate.matrix()
+            pending[q] = m if pending[q] is None else m @ pending[q]
+            continue
+        for q in gate.qubits:
+            flush(q)
+        out.append(gate)
+    for q in range(n):
+        flush(q)
+    return out
+
+
+def cancel_adjacent_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove pairs of identical adjacent self-inverse gates.
+
+    "Adjacent" means no intervening gate touches any of the pair's qubits.
+    Implemented as a per-qubit last-gate scan, iterated by the caller via
+    :func:`optimize_1q_2q` until fixpoint.
+    """
+    gates: List[Optional[Gate]] = list(circuit)
+    last_on_qubit: Dict[int, int] = {}
+    for idx, gate in enumerate(gates):
+        if gate is None or not gate.is_unitary or gate.name == "barrier":
+            for q in (gate.qubits if gate else ()):
+                last_on_qubit[q] = idx
+            continue
+        prev_idx = None
+        blocked = False
+        for q in gate.qubits:
+            if q in last_on_qubit:
+                candidate = last_on_qubit[q]
+                if prev_idx is None:
+                    prev_idx = candidate
+                elif candidate != prev_idx:
+                    blocked = True
+        if (
+            not blocked
+            and prev_idx is not None
+            and gates[prev_idx] is not None
+            and gates[prev_idx] == gate
+            and gate.definition.self_inverse
+            and gates[prev_idx].qubits == gate.qubits
+        ):
+            # The previous gate must touch exactly the same qubit set.
+            prev = gates[prev_idx]
+            if set(prev.qubits) == set(gate.qubits):
+                gates[prev_idx] = None
+                gates[idx] = None
+                for q in gate.qubits:
+                    # A qubit's entry may already be gone if its most
+                    # recent gate was itself cancelled earlier this pass.
+                    last_on_qubit.pop(q, None)
+                continue
+        for q in gate.qubits:
+            last_on_qubit[q] = idx
+
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in gates:
+        if gate is not None:
+            out.append(gate)
+    return out
+
+
+def drop_trivial_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove identity gates and zero-angle rotations."""
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "id":
+            continue
+        if gate.name == "delay" and abs(gate.params[0]) < _ID_ATOL:
+            continue
+        if gate.name in ("rx", "ry", "rz", "u1", "rzz", "rxx", "crx", "cu1"):
+            if all(abs(p) < _ID_ATOL for p in gate.params):
+                continue
+        if gate.name == "u3" and all(abs(p) < _ID_ATOL for p in gate.params):
+            continue
+        out.append(gate)
+    return out
+
+
+def optimize_1q_2q(circuit: QuantumCircuit, *, max_rounds: int = 20) -> QuantumCircuit:
+    """Run drop / cancel / merge passes to fixpoint.
+
+    CX cancellation can expose new one-qubit merges and vice versa, so the
+    passes loop until the gate list stops changing (or ``max_rounds``).
+    """
+    current = circuit
+    for _ in range(max_rounds):
+        before = current.gates
+        current = drop_trivial_gates(current)
+        current = cancel_adjacent_cx(current)
+        current = merge_single_qubit_gates(current)
+        if current.gates == before:
+            break
+    return current

@@ -1,0 +1,144 @@
+"""SWAP routing onto a device coupling map.
+
+A greedy shortest-path router: whenever a two-qubit gate addresses
+non-adjacent physical qubits, SWAPs are inserted along a cheapest path
+(weighted by CNOT error so routing prefers good couplers) until the pair is
+adjacent. This mirrors the role of Qiskit's stochastic/SABRE routers; the
+paper only relies on routing existing, not on a specific algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..noise.devices import DeviceSnapshot
+from .layout import Layout
+
+__all__ = ["route_circuit", "RoutedCircuit"]
+
+
+@dataclass
+class RoutedCircuit:
+    """Routing output.
+
+    Attributes
+    ----------
+    circuit:
+        Circuit over *physical* qubit indices; every two-qubit gate acts on
+        a device coupler.
+    initial_layout:
+        The layout the router started from.
+    final_layout:
+        Where each virtual qubit ended up after routing SWAPs.
+    swap_count:
+        Number of SWAPs inserted.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    swap_count: int
+
+    @property
+    def active_qubits(self) -> Tuple[int, ...]:
+        """Sorted physical qubits actually touched by the routed circuit."""
+        touched = set()
+        for gate in self.circuit:
+            touched.update(gate.qubits)
+        touched.update(self.initial_layout.physical_qubits)
+        return tuple(sorted(touched))
+
+    def local_circuit(self) -> Tuple[QuantumCircuit, Layout]:
+        """Relabel to contiguous local indices for small-width simulation.
+
+        Returns the relabelled circuit plus the *final* layout expressed in
+        local indices (virtual -> local position).
+        """
+        active = self.active_qubits
+        local_of = {p: i for i, p in enumerate(active)}
+        out = QuantumCircuit(len(active), name=self.circuit.name)
+        for gate in self.circuit:
+            out.append(
+                Gate(gate.name, tuple(local_of[q] for q in gate.qubits), gate.params)
+            )
+        local_final = Layout(
+            tuple(local_of[p] for p in self.final_layout.physical_qubits)
+        )
+        return out, local_final
+
+
+def _edge_weight(device: DeviceSnapshot):
+    def weight(a: int, b: int, _attrs) -> float:
+        # Three CNOTs per SWAP; prefer low-error couplers.
+        return 1e-6 + 3.0 * device.edge_error(a, b)
+
+    return weight
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    device: DeviceSnapshot,
+    layout: Layout,
+) -> RoutedCircuit:
+    """Map a virtual circuit onto the device respecting its coupling map."""
+    if layout.num_virtual < circuit.num_qubits:
+        raise ValueError("layout narrower than circuit")
+    graph = device.coupling_graph()
+    for p in layout.physical_qubits:
+        if p not in graph:
+            raise ValueError(f"layout uses qubit {p} absent from {device.name}")
+
+    v2p: Dict[int, int] = {v: layout.physical(v) for v in range(circuit.num_qubits)}
+    out = QuantumCircuit(device.num_qubits, name=circuit.name)
+    weight = _edge_weight(device)
+    swaps = 0
+
+    for gate in circuit:
+        if gate.name in ("barrier", "measure"):
+            out.append(Gate(gate.name, tuple(v2p[q] for q in gate.qubits)))
+            continue
+        if gate.num_qubits == 1:
+            out.append(Gate(gate.name, (v2p[gate.qubits[0]],), gate.params))
+            continue
+        if gate.num_qubits > 2:
+            raise ValueError(
+                f"route_circuit expects a <=2-qubit basis circuit, got {gate.name!r}"
+            )
+        va, vb = gate.qubits
+        pa, pb = v2p[va], v2p[vb]
+        if not graph.has_edge(pa, pb):
+            path = nx.shortest_path(graph, pa, pb, weight=weight)
+            # Walk the first endpoint down the path until adjacent.
+            p2v = {p: v for v, p in v2p.items()}
+            for hop in path[1:-1]:
+                out.append(Gate("swap", (pa, hop)))
+                swaps += 1
+                # Update the tracking maps: whoever sits on `hop` moves back.
+                v_here = p2v.get(pa)
+                v_there = p2v.get(hop)
+                if v_here is not None:
+                    v2p[v_here] = hop
+                    p2v[hop] = v_here
+                else:
+                    p2v.pop(hop, None)
+                if v_there is not None:
+                    v2p[v_there] = pa
+                    p2v[pa] = v_there
+                else:
+                    p2v.pop(pa, None)
+                pa = hop
+            pb = v2p[vb]
+        out.append(Gate(gate.name, (pa, pb), gate.params))
+
+    final = Layout(tuple(v2p[v] for v in range(circuit.num_qubits)))
+    return RoutedCircuit(
+        circuit=out,
+        initial_layout=Layout(tuple(layout.physical_qubits[: circuit.num_qubits])),
+        final_layout=final,
+        swap_count=swaps,
+    )

@@ -1,0 +1,147 @@
+"""The transpilation pipeline: Qiskit-style optimisation levels 0-3.
+
+The paper transpiles simulator experiments at optimisation level 1 ("with
+mappings to qubits 0, 1, 2, 3, and 4") and hardware experiments at level 3
+(noise-aware layout). The levels here reproduce those behaviours:
+
+====  ==========================================================
+0     basis translation only (no layout, no optimisation)
+1     trivial layout, routing, basis translation, light peephole
+2     level 1 plus fixpoint peephole optimisation
+3     noise-aware layout, routing, fixpoint peephole optimisation
+====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.devices import DeviceSnapshot
+from .basis import to_basis_gates
+from .layout import Layout, noise_aware_layout, trivial_layout
+from .passes import merge_single_qubit_gates, optimize_1q_2q, drop_trivial_gates
+from .routing import RoutedCircuit, route_circuit
+
+__all__ = ["transpile", "TranspileResult"]
+
+
+@dataclass
+class TranspileResult:
+    """Everything the experiment harness needs from a transpilation.
+
+    Attributes
+    ----------
+    circuit:
+        The transpiled circuit over physical qubit indices (width = device
+        size when a device is given, else the input width).
+    initial_layout / final_layout:
+        Virtual -> physical maps before and after routing.
+    active_qubits:
+        Sorted physical qubits the circuit actually uses.
+    swap_count:
+        SWAPs inserted by routing.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    active_qubits: Tuple[int, ...]
+    swap_count: int = 0
+
+    def local_circuit(self) -> Tuple[QuantumCircuit, Layout]:
+        """Relabel onto contiguous local indices (for small-width noisy sim).
+
+        Returns the relabelled circuit and the final layout in local
+        indices: ``local_final.physical(v)`` is the local wire holding
+        virtual qubit ``v`` at the end of the circuit.
+        """
+        local_of = {p: i for i, p in enumerate(self.active_qubits)}
+        out = QuantumCircuit(len(self.active_qubits), name=self.circuit.name)
+        for gate in self.circuit:
+            out.append(
+                type(gate)(
+                    gate.name,
+                    tuple(local_of[q] for q in gate.qubits),
+                    gate.params,
+                )
+            )
+        local_final = Layout(
+            tuple(local_of[p] for p in self.final_layout.physical_qubits)
+        )
+        return out, local_final
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    device: Optional[DeviceSnapshot] = None,
+    *,
+    optimization_level: int = 1,
+    initial_layout: Optional[Sequence[int]] = None,
+) -> TranspileResult:
+    """Translate, map and optimise a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The virtual circuit.
+    device:
+        Target device; ``None`` performs basis translation and optimisation
+        without any layout/routing.
+    optimization_level:
+        0-3, see module docstring.
+    initial_layout:
+        Explicit physical qubits (overrides the level's layout policy) —
+        this is how the paper's manual-mapping experiments (Figs 17/18)
+        pin circuits to chosen qubit rings.
+    """
+    if not 0 <= optimization_level <= 3:
+        raise ValueError("optimization_level must be 0..3")
+
+    basis_circ = to_basis_gates(circuit.copy())
+    if optimization_level >= 1:
+        basis_circ = drop_trivial_gates(merge_single_qubit_gates(basis_circ))
+
+    if device is None:
+        layout = trivial_layout(basis_circ.num_qubits)
+        final = layout
+        out = basis_circ
+        if optimization_level >= 2:
+            out = optimize_1q_2q(out)
+        return TranspileResult(
+            circuit=out,
+            initial_layout=layout,
+            final_layout=final,
+            active_qubits=tuple(range(out.num_qubits)),
+        )
+
+    # Layout selection.
+    if initial_layout is not None:
+        layout = Layout(tuple(int(q) for q in initial_layout))
+    elif optimization_level == 3:
+        layout = noise_aware_layout(basis_circ, device)
+    else:
+        layout = trivial_layout(basis_circ.num_qubits)
+
+    routed: RoutedCircuit = route_circuit(basis_circ, device, layout)
+    physical = to_basis_gates(routed.circuit)  # decompose routing SWAPs
+    if optimization_level >= 2:
+        physical = optimize_1q_2q(physical)
+    elif optimization_level == 1:
+        physical = drop_trivial_gates(merge_single_qubit_gates(physical))
+
+    active = set()
+    for gate in physical:
+        active.update(gate.qubits)
+    active.update(routed.initial_layout.physical_qubits)
+
+    return TranspileResult(
+        circuit=physical,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        active_qubits=tuple(sorted(active)),
+        swap_count=routed.swap_count,
+    )

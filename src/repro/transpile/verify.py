@@ -1,0 +1,76 @@
+"""Semantic verification of transpiled circuits.
+
+Transpilation must preserve circuit semantics up to (a) global phase,
+(b) the virtual->physical relabelling, and (c) routing SWAPs that leave
+virtual qubits on different wires. These helpers check exactly that and are
+used by the property-based test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..sim.statevector import StatevectorSimulator
+from .transpiler import TranspileResult
+
+__all__ = ["permute_statevector", "equivalent_under_layout"]
+
+
+def permute_statevector(state: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+    """Relabel qubits of a statevector: new qubit ``i`` = old ``perm[i]``."""
+    n = len(perm)
+    if state.size != 2**n:
+        raise ValueError("permutation length does not match state size")
+    if sorted(perm) != list(range(n)):
+        raise ValueError(f"{perm} is not a permutation")
+    tensor = state.reshape((2,) * n)
+    # Qubit q sits on axis n-1-q; destination axis for old qubit perm[i]
+    # is n-1-i.
+    src_axes = [n - 1 - perm[i] for i in range(n)]
+    dst_axes = [n - 1 - i for i in range(n)]
+    return np.moveaxis(tensor, src_axes, dst_axes).reshape(-1).copy()
+
+
+def equivalent_under_layout(
+    original: QuantumCircuit,
+    result: TranspileResult,
+    atol: float = 1e-8,
+) -> bool:
+    """Check a transpilation preserved the action on ``|0...0>``.
+
+    Simulates both circuits from the all-zero state, moves each virtual
+    qubit back from the wire the final layout reports, requires every
+    ancilla wire to be exactly ``|0>``, and compares up to global phase.
+
+    Starting from ``|0...0>`` (plus ancilla-zero checking) is the right
+    notion of equivalence for routed circuits: routing SWAPs permute wires,
+    so full unitary equality does not hold by design.
+    """
+    sim = StatevectorSimulator()
+    psi_orig = sim.run(original.without_measurements()).data
+
+    local, local_final = result.local_circuit()
+    psi_phys = sim.run(local.without_measurements()).data
+
+    n = original.num_qubits
+    m = local.num_qubits
+    # Permutation: new qubit v should be old wire local_final.physical(v);
+    # ancilla wires fill the remaining new positions.
+    used = list(local_final.physical_qubits[:n])
+    ancilla = [w for w in range(m) if w not in used]
+    perm = used + ancilla
+    psi = permute_statevector(psi_phys, perm)
+
+    tensor = psi.reshape((2,) * m)
+    # All ancilla axes (qubits n..m-1 == leading axes) must be |0>.
+    for _ in range(m - n):
+        if np.linalg.norm(tensor[1]) > atol:
+            return False
+        tensor = tensor[0]
+    reduced = tensor.reshape(-1)
+
+    overlap = np.vdot(psi_orig, reduced)
+    return bool(abs(abs(overlap) - 1.0) < atol)

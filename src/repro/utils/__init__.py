@@ -1,0 +1,5 @@
+"""Shared utilities: synthesis disk cache."""
+
+from .cache import cache_dir, cache_key, load_records, store_records
+
+__all__ = ["cache_dir", "cache_key", "load_records", "store_records"]

@@ -1,0 +1,67 @@
+"""Disk cache for synthesis runs.
+
+Synthesis is the expensive step (hundreds of numerical optimisations per
+target), while everything downstream — noisy simulation, sweeps, hardware
+emulation — is cheap. Caching synthesis results per (target, settings) key
+lets every figure driver re-run instantly after the first pass.
+
+The cache is plain JSON (structures + parameter vectors + distances), so it
+is portable and inspectable. Set ``REPRO_CACHE_DIR`` to relocate it, or
+``REPRO_NO_CACHE=1`` to disable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["cache_dir", "cache_key", "load_records", "store_records"]
+
+
+def cache_dir() -> Optional[Path]:
+    """The cache directory, or ``None`` when caching is disabled."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR")
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".repro_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cache_key(target: np.ndarray, settings: dict) -> str:
+    """Stable key for a (target unitary, synthesis settings) pair."""
+    digest = hashlib.sha256()
+    digest.update(np.round(np.asarray(target, dtype=np.complex128), 10).tobytes())
+    digest.update(json.dumps(settings, sort_keys=True, default=str).encode())
+    return digest.hexdigest()[:32]
+
+
+def load_records(key: str) -> Optional[List[dict]]:
+    """Fetch cached synthesis records, or ``None`` on miss."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    path = directory / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with path.open() as fh:
+            return json.load(fh)["records"]
+    except (json.JSONDecodeError, KeyError, OSError):
+        return None
+
+
+def store_records(key: str, records: List[dict]) -> None:
+    directory = cache_dir()
+    if directory is None:
+        return
+    path = directory / f"{key}.json"
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w") as fh:
+        json.dump({"records": records}, fh)
+    tmp.replace(path)

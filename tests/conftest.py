@@ -1,0 +1,23 @@
+"""Shared pytest configuration.
+
+Tests always run at the ``smoke`` experiment scale so the integration
+layer stays fast; synthesis results are disk-cached, so repeated test runs
+reuse pools.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def session_rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,188 @@
+"""Application workloads: TFIM, Grover, Toffoli."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    PAPER_NUM_STEPS,
+    TFIMSpec,
+    grover_circuit,
+    ideal_magnetization,
+    marked_state_index,
+    mcx_circuit,
+    mcx_unitary,
+    optimal_iterations,
+    success_probability,
+    tfim_circuits,
+    tfim_step_circuit,
+    toffoli_js_score,
+    toffoli_test_suite,
+)
+from repro.apps.toffoli import append_mcu, append_mcx, append_mcz
+from repro.circuits import QuantumCircuit
+from repro.linalg import allclose_up_to_global_phase, haar_unitary
+from repro.metrics import UNIFORM_NOISE_JS
+from repro.sim import StatevectorSimulator, average_magnetization
+from repro.transpile import to_basis_gates
+
+
+class TestTFIM:
+    def test_default_spec(self):
+        spec = TFIMSpec()
+        assert spec.num_qubits == 3
+        assert spec.bonds() == [(0, 1), (1, 2)]
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            TFIMSpec(num_qubits=1)
+
+    def test_step_count_grows_linearly(self):
+        spec = TFIMSpec(3)
+        c5 = to_basis_gates(tfim_step_circuit(spec, 5))
+        c10 = to_basis_gates(tfim_step_circuit(spec, 10))
+        assert c10.cnot_count == 2 * c5.cnot_count
+
+    def test_cnots_per_step(self):
+        spec = TFIMSpec(4)
+        qc = to_basis_gates(tfim_step_circuit(spec, 1))
+        assert qc.cnot_count == 2 * 3  # 2 CNOTs per bond
+
+    def test_zero_steps_is_identity(self):
+        qc = tfim_step_circuit(TFIMSpec(3), 0)
+        assert len(qc) == 0
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            tfim_step_circuit(TFIMSpec(3), -1)
+
+    def test_paper_family_has_21_circuits(self):
+        circuits = tfim_circuits()
+        assert len(circuits) == PAPER_NUM_STEPS == 21
+
+    def test_magnetization_starts_near_one(self):
+        mags = ideal_magnetization(num_steps=3)
+        assert mags[0] > 0.95
+
+    def test_magnetization_decays_with_field(self):
+        mags = ideal_magnetization()
+        assert min(mags) < 0.2  # field ramp depolarises the chain
+
+    def test_magnetization_bounded(self):
+        mags = ideal_magnetization()
+        assert np.all(np.abs(mags) <= 1.0 + 1e-12)
+
+    def test_custom_schedule(self):
+        spec = TFIMSpec(3, field_schedule=lambda t: 0.0)
+        mags = ideal_magnetization(spec, num_steps=5)
+        # no transverse field: |000> is an eigenstate, magnetization stays 1
+        assert np.allclose(mags, 1.0, atol=1e-9)
+
+
+class TestGrover:
+    def test_optimal_iterations(self):
+        assert optimal_iterations(3) == 2
+        assert optimal_iterations(2) == 1
+
+    def test_success_probability_high(self):
+        probs = StatevectorSimulator().probabilities(grover_circuit(3, "111"))
+        assert success_probability(probs, "111") > 0.9
+
+    @pytest.mark.parametrize("marked", ["000", "101", "110"])
+    def test_other_marked_states(self, marked):
+        probs = StatevectorSimulator().probabilities(grover_circuit(3, marked))
+        assert success_probability(probs, marked) > 0.9
+
+    def test_marked_index(self):
+        assert marked_state_index("110") == 6
+
+    def test_bad_marked_string(self):
+        with pytest.raises(ValueError):
+            grover_circuit(3, "11")
+        with pytest.raises(ValueError):
+            grover_circuit(3, "11x")
+
+    def test_single_iteration_weaker(self):
+        p2 = success_probability(
+            StatevectorSimulator().probabilities(grover_circuit(3, "111")), "111"
+        )
+        p1 = success_probability(
+            StatevectorSimulator().probabilities(
+                grover_circuit(3, "111", iterations=1)
+            ),
+            "111",
+        )
+        assert p1 < p2
+
+
+class TestToffoli:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_mcx_circuit_exact(self, k):
+        circuit = mcx_circuit(k)
+        assert allclose_up_to_global_phase(
+            mcx_unitary(k), circuit.unitary(), atol=1e-7
+        )
+
+    def test_mcx_unitary_is_permutation(self):
+        u = mcx_unitary(3)
+        assert np.allclose(np.abs(u) ** 2 @ np.ones(16), np.ones(16))
+
+    def test_zero_controls_rejected(self):
+        with pytest.raises(ValueError):
+            mcx_circuit(0)
+
+    def test_append_mcx_one_control_is_cx(self):
+        qc = QuantumCircuit(2)
+        append_mcx(qc, [0], 1)
+        assert qc.gates[0].name == "cx"
+
+    def test_append_mcz_phase(self):
+        qc = QuantumCircuit(2)
+        append_mcz(qc, [0, 1])
+        expected = np.diag([1.0, 1.0, 1.0, -1.0])
+        assert allclose_up_to_global_phase(expected, qc.unitary(), atol=1e-8)
+
+    def test_append_mcu_random_unitary(self):
+        from repro.linalg import controlled_unitary
+
+        v = haar_unitary(2, 5)
+        qc = QuantumCircuit(3)
+        append_mcu(qc, v, [0, 1], 2)
+        expected = controlled_unitary(v, 2)
+        assert allclose_up_to_global_phase(expected, qc.unitary(), atol=1e-7)
+
+    def test_cnot_growth_with_controls(self):
+        counts = [to_basis_gates(mcx_circuit(k)).cnot_count for k in (2, 3, 4)]
+        assert counts[0] < counts[1] < counts[2]
+        assert counts[0] == 6  # the textbook Toffoli
+
+
+class TestToffoliScoring:
+    def test_ideal_scores_zero(self):
+        run = lambda c: StatevectorSimulator().probabilities(c)
+        score = toffoli_js_score(run, mcx_circuit(2), toffoli_test_suite(2))
+        assert score == pytest.approx(0.0, abs=1e-7)
+
+    def test_uniform_scores_noise_floor(self):
+        run = lambda c: np.full(2**c.num_qubits, 2.0 ** -c.num_qubits)
+        score = toffoli_js_score(run, mcx_circuit(3), toffoli_test_suite(3))
+        assert score == pytest.approx(UNIFORM_NOISE_JS, abs=1e-9)
+
+    def test_extended_suite(self):
+        tests = toffoli_test_suite(2, include_basis_inputs=True)
+        assert len(tests) == 4
+        names = {t.name for t in tests}
+        assert {"superposition", "all_ones", "all_zeros", "half"} <= names
+        run = lambda c: StatevectorSimulator().probabilities(c)
+        assert toffoli_js_score(run, mcx_circuit(2), tests) < 1e-6
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            toffoli_js_score(lambda c: None, mcx_circuit(2), [])
+
+    def test_wrong_circuit_scores_high(self):
+        run = lambda c: StatevectorSimulator().probabilities(c)
+        wrong = QuantumCircuit(3).x(2)  # always flips the target
+        score = toffoli_js_score(run, wrong, toffoli_test_suite(2))
+        assert score > 0.4

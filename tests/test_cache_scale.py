@@ -1,0 +1,70 @@
+"""Synthesis disk cache and experiment scale presets."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER, QUICK, SMOKE, get_scale
+from repro.utils.cache import cache_dir, cache_key, load_records, store_records
+
+
+class TestCache:
+    def test_key_deterministic(self):
+        target = np.eye(4)
+        a = cache_key(target, {"tool": "qsearch"})
+        b = cache_key(target, {"tool": "qsearch"})
+        assert a == b
+
+    def test_key_sensitive_to_target(self):
+        assert cache_key(np.eye(4), {}) != cache_key(np.eye(8), {})
+
+    def test_key_sensitive_to_settings(self):
+        t = np.eye(4)
+        assert cache_key(t, {"seed": 1}) != cache_key(t, {"seed": 2})
+
+    def test_store_and_load(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        records = [{"placements": [[0, 1]], "params": [0.1] * 12, "hs": 0.3}]
+        store_records("abc123", records)
+        assert load_records("abc123") == records
+
+    def test_miss_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert load_records("missing") is None
+
+    def test_corrupt_file_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert load_records("bad") is None
+
+    def test_disable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert cache_dir() is None
+        store_records("x", [])  # no-op, must not raise
+        assert load_records("x") is None
+
+
+class TestScale:
+    def test_presets_ordered_by_budget(self):
+        assert SMOKE.max_nodes < QUICK.max_nodes < PAPER.max_nodes
+        assert len(SMOKE.tfim_steps) < len(QUICK.tfim_steps)
+        assert QUICK.tfim_steps == tuple(range(1, 22))
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale().name == "paper"
+
+    def test_explicit_name_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale("smoke").name == "smoke"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_max_cnots_lookup(self):
+        assert QUICK.max_cnots(3) == 6
+        assert QUICK.max_cnots(5) == 14
+        # unknown width falls back to the widest entry
+        assert QUICK.max_cnots(9) == 14

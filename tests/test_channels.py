@@ -1,0 +1,203 @@
+"""Kraus channels: CPTP properties and known fixed points."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.channels import (
+    KrausChannel,
+    ReadoutError,
+    amplitude_damping_channel,
+    apply_readout_errors,
+    bit_flip_channel,
+    compose_channels,
+    depolarizing_channel,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+
+ALL_FACTORIES = [
+    lambda: identity_channel(),
+    lambda: depolarizing_channel(0.13),
+    lambda: depolarizing_channel(0.08, 2),
+    lambda: bit_flip_channel(0.2),
+    lambda: phase_flip_channel(0.3),
+    lambda: amplitude_damping_channel(0.4),
+    lambda: phase_damping_channel(0.25),
+    lambda: thermal_relaxation_channel(70_000, 90_000, 400),
+    lambda: pauli_channel({"I": 0.8, "X": 0.1, "Y": 0.05, "Z": 0.05}),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_trace_preserving(factory):
+    assert factory().is_trace_preserving()
+
+
+def _rand_dm(n, seed=0):
+    rng = np.random.default_rng(seed)
+    d = 2**n
+    a = rng.normal(size=(d, d)) + 1j * rng.normal(size=(d, d))
+    rho = a @ a.conj().T
+    return rho / np.trace(rho)
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_apply_preserves_trace_and_positivity(factory):
+    channel = factory()
+    n = max(2, channel.num_qubits)
+    rho = _rand_dm(n, seed=3)
+    qubits = tuple(range(channel.num_qubits))
+    out = channel.apply(rho, qubits, n)
+    assert np.trace(out).real == pytest.approx(1.0)
+    eigs = np.linalg.eigvalsh((out + out.conj().T) / 2)
+    assert eigs.min() > -1e-10
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_superoperator_matches_kraus_sum(factory):
+    channel = factory()
+    n = channel.num_qubits + 1
+    rho = _rand_dm(n, seed=11)
+    qubits = tuple(range(channel.num_qubits))
+    fast = channel.apply(rho, qubits, n)
+    slow = channel.apply_reference(rho, qubits, n)
+    assert np.allclose(fast, slow, atol=1e-12)
+
+
+class TestDepolarizing:
+    def test_full_mix_at_p_one(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        out = depolarizing_channel(1.0).apply(rho, (0,), 1)
+        assert np.allclose(out, np.eye(2) / 2)
+
+    def test_identity_at_p_zero(self):
+        rho = _rand_dm(1, 5)
+        out = depolarizing_channel(0.0).apply(rho, (0,), 1)
+        assert np.allclose(out, rho)
+
+    def test_unital(self):
+        assert depolarizing_channel(0.3).is_unital()
+        assert depolarizing_channel(0.3, 2).is_unital()
+
+    def test_linear_contraction(self):
+        """E(rho) = (1-p) rho + p I/d exactly."""
+        p = 0.37
+        rho = _rand_dm(1, 7)
+        out = depolarizing_channel(p).apply(rho, (0,), 1)
+        assert np.allclose(out, (1 - p) * rho + p * np.eye(2) / 2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(1.5)
+
+    def test_average_fidelity_formula(self):
+        p = 0.1
+        f = depolarizing_channel(p).average_fidelity()
+        assert f == pytest.approx(1 - p / 2, abs=1e-12)
+
+
+class TestAmplitudeDamping:
+    def test_ground_state_fixed(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        out = amplitude_damping_channel(0.5).apply(rho, (0,), 1)
+        assert np.allclose(out, rho)
+
+    def test_excited_population_decays(self):
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        out = amplitude_damping_channel(0.3).apply(rho, (0,), 1)
+        assert out[1, 1].real == pytest.approx(0.7)
+
+    def test_not_unital(self):
+        assert not amplitude_damping_channel(0.3).is_unital()
+
+
+class TestThermalRelaxation:
+    def test_t1_population_decay(self):
+        t1, t2, t = 50_000.0, 70_000.0, 25_000.0
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        out = thermal_relaxation_channel(t1, t2, t).apply(rho, (0,), 1)
+        assert out[1, 1].real == pytest.approx(math.exp(-t / t1), abs=1e-9)
+
+    def test_t2_coherence_decay(self):
+        t1, t2, t = 50_000.0, 60_000.0, 30_000.0
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = thermal_relaxation_channel(t1, t2, t).apply(rho, (0,), 1)
+        assert abs(out[0, 1]) == pytest.approx(0.5 * math.exp(-t / t2), abs=1e-9)
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(10.0, 25.0, 1.0)
+
+    def test_zero_time_is_identity(self):
+        rho = _rand_dm(1, 13)
+        out = thermal_relaxation_channel(50e3, 60e3, 0.0).apply(rho, (0,), 1)
+        assert np.allclose(out, rho)
+
+
+class TestComposition:
+    def test_compose_order(self):
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        combined = compose_channels(
+            amplitude_damping_channel(0.5), bit_flip_channel(1.0)
+        )
+        out = combined.apply(rho, (0,), 1)
+        # damp first (p1 -> 0.5), then flip: p(|1>) = 0.5
+        assert out[0, 0].real == pytest.approx(0.5)
+
+    def test_expand_dimensions(self):
+        two = depolarizing_channel(0.1).expand(identity_channel())
+        assert two.num_qubits == 2
+        assert two.is_trace_preserving()
+
+    def test_pauli_channel_probability_validation(self):
+        with pytest.raises(ValueError):
+            pauli_channel({"I": 0.5, "X": 0.2})
+
+
+class TestReadoutError:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutError(1.2, 0.0)
+
+    def test_assignment_fidelity(self):
+        assert ReadoutError(0.02, 0.04).assignment_fidelity == pytest.approx(0.97)
+
+    def test_confusion_columns_sum_to_one(self):
+        m = ReadoutError(0.03, 0.07).matrix
+        assert np.allclose(m.sum(axis=0), 1.0)
+
+    def test_apply_single_qubit(self):
+        probs = np.array([1.0, 0.0])
+        out = apply_readout_errors(probs, [ReadoutError(0.1, 0.2)])
+        assert np.allclose(out, [0.9, 0.1])
+
+    def test_apply_preserves_mass(self):
+        rng = np.random.default_rng(5)
+        probs = rng.random(8)
+        probs /= probs.sum()
+        errors = [ReadoutError(0.05, 0.1), None, ReadoutError(0.2, 0.02)]
+        out = apply_readout_errors(probs, errors)
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+
+    def test_identity_when_all_none(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        assert np.allclose(apply_readout_errors(probs, [None, None]), probs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.floats(0.0, 1.0),
+    n=st.integers(1, 2),
+)
+def test_depolarizing_cptp_property(p, n):
+    ch = depolarizing_channel(p, n)
+    assert ch.is_trace_preserving()
+    assert ch.is_unital()

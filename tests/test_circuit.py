@@ -1,0 +1,136 @@
+"""Unit tests for QuantumCircuit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Gate, QuantumCircuit, ghz_circuit, random_circuit
+from repro.linalg import allclose_up_to_global_phase, is_unitary
+
+
+class TestConstruction:
+    def test_needs_positive_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_append_validates_qubits(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            qc.cx(0, 5)
+
+    def test_builder_methods_chain(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        assert len(qc) == 3
+
+    def test_extend(self):
+        qc = QuantumCircuit(2)
+        qc.extend([Gate("h", (0,)), Gate("cx", (0, 1))])
+        assert [g.name for g in qc] == ["h", "cx"]
+
+    def test_equality_and_hash(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1 and len(b) == 2
+
+
+class TestMetrics:
+    def test_cnot_count_counts_entanglers(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cz(1, 2).swap(0, 2).rzz(0.4, 0, 1).crx(0.2, 0, 1)
+        # crx is not a raw entangler; cx+cz+swap+rzz are
+        assert qc.cnot_count == 4
+
+    def test_gate_count_excludes_measure(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        qc.measure_all()
+        assert qc.gate_count == 2
+
+    def test_count_ops(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert qc.depth() == 1
+
+    def test_depth_serial_chain(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_cnot_depth(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).h(1).cx(1, 2).cx(0, 1)
+        assert qc.depth(two_qubit_only=True) == 3
+
+    def test_duration_asap(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        # parallel 35ns layer + 300ns CX
+        assert qc.duration() == pytest.approx(335.0)
+
+    def test_duration_custom_times(self):
+        qc = QuantumCircuit(1).h(0)
+        assert qc.duration({"h": 50.0}) == pytest.approx(50.0)
+
+
+class TestSemantics:
+    def test_ghz_unitary_first_column(self):
+        psi = ghz_circuit(3).unitary()[:, 0]
+        assert abs(psi[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(psi[7]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_unitary_rejects_measured_circuit(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.measure_all()
+        with pytest.raises(ValueError):
+            qc.unitary()
+
+    def test_barrier_is_noop_for_unitary(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).h(0)
+        b.barrier()
+        assert np.allclose(a.unitary(), b.unitary())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_inverse_composes_to_identity(self, seed):
+        qc = random_circuit(3, 20, seed=seed)
+        prod = qc.inverse().unitary() @ qc.unitary()
+        assert allclose_up_to_global_phase(np.eye(8), prod)
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2).cx(0, 1)
+        outer = QuantumCircuit(3)
+        outer.compose(inner, qubits=[2, 0])
+        assert outer.gates[0] == Gate("cx", (2, 0))
+
+    def test_compose_wider_raises(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_remap(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        wide = qc.remap([3, 1], num_qubits=5)
+        assert wide.num_qubits == 5
+        assert wide.gates[0] == Gate("cx", (3, 1))
+
+    def test_remap_preserves_semantics_under_permutation(self):
+        qc = random_circuit(3, 15, seed=7)
+        assert is_unitary(qc.remap([2, 0, 1]).unitary())
+
+    def test_without_measurements(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.measure_all()
+        clean = qc.without_measurements()
+        assert not clean.has_measurements()
+        assert len(clean) == 1
+
+    def test_draw_contains_gates(self):
+        text = QuantumCircuit(2).h(0).cx(0, 1).draw(style="list")
+        assert "h" in text and "cx" in text
+        art = QuantumCircuit(2).h(0).cx(0, 1).draw()
+        assert "[H]" in art and "●" in art

@@ -1,0 +1,85 @@
+"""Cross-engine equivalence: all four simulators agree on shared domains.
+
+The repository ships four execution engines (statevector, density matrix,
+trajectory, stabilizer). Wherever their domains overlap they must agree —
+these tests are the strongest internal-consistency check the stack has.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.metrics import total_variation_distance
+from repro.noise import GateError, NoiseModel, get_device
+from repro.sim import (
+    DensityMatrixSimulator,
+    StabilizerSimulator,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    counts_to_probabilities,
+)
+
+
+def _random_clifford(num_qubits: int, depth: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    one_q = ["h", "s", "sdg", "x", "z", "sx"]
+    for _ in range(depth):
+        if rng.random() < 0.4 and num_qubits > 1:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            qc.cx(int(a), int(b))
+        else:
+            getattr(qc, one_q[rng.integers(len(one_q))])(int(rng.integers(num_qubits)))
+    return qc
+
+
+class TestNoiselessAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_statevector_vs_density_matrix(self, seed):
+        qc = random_circuit(3, 25, seed=seed)
+        sv = StatevectorSimulator().probabilities(qc)
+        dm = DensityMatrixSimulator().run(qc).probabilities()
+        assert np.allclose(sv, dm, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_statevector_vs_trajectory_single_shot(self, seed):
+        qc = random_circuit(2, 15, seed=seed)
+        sv = StatevectorSimulator().run(qc).data
+        traj = TrajectorySimulator(seed=0).run_single_shot(qc)
+        assert np.allclose(sv, traj)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_statevector_vs_stabilizer_clifford(self, seed):
+        qc = _random_clifford(3, 20, seed)
+        sv = StatevectorSimulator().probabilities(qc)
+        counts = StabilizerSimulator(seed=seed).sample(qc, shots=2000)
+        emp = counts_to_probabilities(counts, 3)
+        assert total_variation_distance(sv, emp) < 0.08
+
+
+class TestNoisyAgreement:
+    def test_trajectory_unravels_density_matrix_on_clifford(self):
+        model = NoiseModel()
+        model.add_gate_error(GateError(depolarizing=0.08), "cx", None)
+        qc = _random_clifford(3, 15, seed=2)
+        dm = DensityMatrixSimulator(model).probabilities(qc)
+        tj = TrajectorySimulator(model, seed=7).probabilities(qc, shots=2500)
+        assert total_variation_distance(dm, tj) < 0.08
+
+    def test_device_model_on_both_dense_engines(self):
+        model = get_device("santiago").noise_model()
+        qc = random_circuit(3, 15, seed=5)
+        dm = DensityMatrixSimulator(model).probabilities(qc)
+        tj = TrajectorySimulator(model, seed=11).probabilities(qc, shots=2500)
+        assert total_variation_distance(dm, tj) < 0.09
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_dense_engines_agree_property(seed):
+    qc = random_circuit(3, 12, seed=seed)
+    sv = StatevectorSimulator().probabilities(qc)
+    dm = DensityMatrixSimulator().run(qc).probabilities()
+    assert np.allclose(sv, dm, atol=1e-9)

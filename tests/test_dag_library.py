@@ -1,0 +1,98 @@
+"""Circuit DAG and standard-library circuits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CircuitDAG,
+    QuantumCircuit,
+    basis_state_preparation,
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+    random_u3_cx_circuit,
+)
+from repro.linalg import allclose_up_to_global_phase, is_unitary
+from repro.sim import StatevectorSimulator
+
+
+class TestDAG:
+    def test_layers_parallelism(self):
+        qc = QuantumCircuit(3).h(0).h(1).h(2).cx(0, 1).cx(1, 2)
+        layers = CircuitDAG(qc).layers()
+        assert len(layers[0]) == 3  # all H gates parallel
+        assert len(layers) == 3
+
+    def test_longest_path(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1).cx(0, 1)
+        dag = CircuitDAG(qc)
+        assert dag.longest_path_length() == qc.depth()
+
+    def test_cnot_critical_path(self):
+        qc = QuantumCircuit(3).cx(0, 1).h(2).cx(1, 2)
+        dag = CircuitDAG(qc)
+        assert dag.longest_path_length(two_qubit_only=True) == 2
+
+    def test_successor_predecessor_queries(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDAG(qc)
+        assert dag.successors_on_qubit(0, 0) == 1
+        assert dag.predecessors_on_qubit(1, 0) == 0
+        assert dag.successors_on_qubit(1, 1) == 2
+        assert dag.successors_on_qubit(2, 1) is None
+
+    def test_roundtrip_preserves_semantics(self):
+        qc = random_circuit(3, 20, seed=4)
+        back = CircuitDAG(qc).to_circuit()
+        assert allclose_up_to_global_phase(qc.unitary(), back.unitary())
+
+    def test_empty_circuit(self):
+        dag = CircuitDAG(QuantumCircuit(2))
+        assert dag.layers() == []
+        assert dag.longest_path_length() == 0
+
+
+class TestLibrary:
+    def test_ghz_probabilities(self):
+        probs = StatevectorSimulator().probabilities(ghz_circuit(4))
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_qft_matches_dft(self):
+        n = 3
+        dim = 2**n
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array(
+            [[omega ** (j * k) for k in range(dim)] for j in range(dim)]
+        ) / math.sqrt(dim)
+        assert allclose_up_to_global_phase(dft, qft_circuit(n).unitary())
+
+    def test_qft_without_swaps_differs(self):
+        a = qft_circuit(3).unitary()
+        b = qft_circuit(3, swaps=False).unitary()
+        assert not np.allclose(a, b)
+
+    def test_random_circuit_deterministic(self):
+        assert random_circuit(3, 20, seed=5) == random_circuit(3, 20, seed=5)
+
+    def test_random_u3_cx_respects_coupling(self):
+        qc = random_u3_cx_circuit(3, 6, seed=1, coupling=[(0, 1)])
+        for g in qc:
+            if g.name == "cx":
+                assert set(g.qubits) == {0, 1}
+
+    def test_random_u3_cx_cnot_count(self):
+        assert random_u3_cx_circuit(3, 5, seed=2).cnot_count == 5
+
+    def test_basis_state_preparation(self):
+        qc = basis_state_preparation(4, "0110")
+        probs = StatevectorSimulator().probabilities(qc)
+        assert probs[0b0110] == pytest.approx(1.0)
+
+    def test_basis_state_validation(self):
+        with pytest.raises(ValueError):
+            basis_state_preparation(2, "012")
+        with pytest.raises(ValueError):
+            basis_state_preparation(2, "0")

@@ -1,0 +1,92 @@
+"""ZYZ decomposition and related analytic rewrites."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import gate_matrix, u3_matrix
+from repro.linalg import (
+    allclose_up_to_global_phase,
+    haar_unitary,
+    rotation_axis_angle,
+    su2_from_unitary,
+    u3_params_from_unitary,
+    zyz_decomposition,
+)
+from repro.linalg.decompositions import verify_zyz
+
+
+class TestSU2Split:
+    def test_det_one(self, rng):
+        v, _alpha = su2_from_unitary(haar_unitary(2, rng))
+        assert abs(np.linalg.det(v) - 1.0) < 1e-10
+
+    def test_reconstruction(self, rng):
+        u = haar_unitary(2, rng)
+        v, alpha = su2_from_unitary(u)
+        assert np.allclose(u, np.exp(1j * alpha) * v)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_unitaries(self, seed):
+        assert verify_zyz(haar_unitary(2, seed))
+
+    def test_identity(self):
+        theta, phi, lam, phase = zyz_decomposition(np.eye(2))
+        assert theta == pytest.approx(0.0)
+        assert abs(phase) < 1e-12
+
+    def test_x_gate(self):
+        assert verify_zyz(gate_matrix("x"))
+        theta, _, _, _ = zyz_decomposition(gate_matrix("x"))
+        assert theta == pytest.approx(math.pi)
+
+    def test_diagonal_gate(self):
+        assert verify_zyz(gate_matrix("u1", (0.9,)))
+
+    def test_u3_roundtrip(self):
+        params = (0.7, -1.2, 2.5)
+        theta, phi, lam = u3_params_from_unitary(u3_matrix(params))
+        assert allclose_up_to_global_phase(
+            u3_matrix(params), u3_matrix((theta, phi, lam))
+        )
+
+    def test_near_identity_stability(self):
+        eps = 1e-11
+        m = u3_matrix((eps, 0.3, -0.2))
+        assert verify_zyz(m)
+
+    def test_near_pi_stability(self):
+        m = u3_matrix((math.pi - 1e-11, 0.3, -0.2))
+        assert verify_zyz(m)
+
+
+class TestRotationAxis:
+    def test_x_axis(self):
+        n, angle = rotation_axis_angle(gate_matrix("x"))
+        assert angle == pytest.approx(math.pi)
+        assert np.allclose(np.abs(n), [1, 0, 0], atol=1e-9)
+
+    def test_z_axis(self):
+        n, angle = rotation_axis_angle(gate_matrix("rz", (0.8,)))
+        assert angle == pytest.approx(0.8)
+        assert np.allclose(np.abs(n), [0, 0, 1], atol=1e-9)
+
+    def test_identity_angle_zero(self):
+        _n, angle = rotation_axis_angle(np.eye(2))
+        assert angle == pytest.approx(0.0)
+
+    def test_axis_normalised(self, rng):
+        n, _ = rotation_axis_angle(haar_unitary(2, rng))
+        assert abs(np.linalg.norm(n) - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_zyz_property_random_unitaries(seed):
+    """Property: ZYZ reconstructs every 1q unitary up to global phase."""
+    assert verify_zyz(haar_unitary(2, seed))

@@ -1,0 +1,107 @@
+"""Density-matrix simulator tests, including cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_circuit
+from repro.noise import GateError, NoiseModel, depolarizing_channel, get_device
+from repro.sim import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    StatevectorSimulator,
+)
+
+
+class TestDensityMatrix:
+    def test_zero_state(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.probabilities()[0] == 1.0
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_statevector(self):
+        sv = StatevectorSimulator().run(ghz_circuit(2))
+        rho = DensityMatrix.from_statevector(sv)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.fidelity_with_pure(sv) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            DensityMatrix(np.zeros((3, 3)))
+
+    def test_expectation_z(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.expectation_z(1) == pytest.approx(1.0)
+
+
+class TestNoiselessAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_statevector(self, seed):
+        qc = random_circuit(3, 25, seed=seed)
+        p_dm = DensityMatrixSimulator().run(qc).probabilities()
+        p_sv = StatevectorSimulator().run(qc).probabilities()
+        assert np.allclose(p_dm, p_sv, atol=1e-10)
+
+    def test_purity_stays_one_without_noise(self):
+        rho = DensityMatrixSimulator().run(random_circuit(3, 20, seed=1))
+        assert rho.purity() == pytest.approx(1.0)
+
+
+class TestNoisyEvolution:
+    def _noisy_model(self, p=0.05):
+        model = NoiseModel("test")
+        model.add_gate_error(GateError(depolarizing=p), "cx", None)
+        return model
+
+    def test_noise_reduces_purity(self):
+        sim = DensityMatrixSimulator(self._noisy_model())
+        rho = sim.run(ghz_circuit(3))
+        assert rho.purity() < 1.0
+
+    def test_trace_preserved(self):
+        sim = DensityMatrixSimulator(self._noisy_model(0.2))
+        rho = sim.run(ghz_circuit(3))
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.is_positive_semidefinite()
+
+    def test_more_noise_less_fidelity(self):
+        qc = ghz_circuit(3)
+        ideal = StatevectorSimulator().run(qc)
+        fids = []
+        for p in (0.01, 0.05, 0.2):
+            rho = DensityMatrixSimulator(self._noisy_model(p)).run(qc)
+            fids.append(rho.fidelity_with_pure(ideal))
+        assert fids[0] > fids[1] > fids[2]
+
+    def test_depth_dependence(self):
+        """Deeper circuits accumulate more error — the paper's premise."""
+        model = get_device("toronto").noise_model()
+        sim = DensityMatrixSimulator(model)
+        sv = StatevectorSimulator()
+        shallow = QuantumCircuit(2).cx(0, 1)
+        deep = QuantumCircuit(2)
+        for _ in range(10):
+            deep.cx(0, 1)
+            deep.cx(0, 1)
+        deep.cx(0, 1)
+        f_shallow = sim.run(shallow).fidelity_with_pure(sv.run(shallow))
+        f_deep = sim.run(deep).fidelity_with_pure(sv.run(deep))
+        assert f_deep < f_shallow
+
+    def test_readout_error_shifts_distribution(self):
+        device = get_device("rome")
+        model = device.noise_model()
+        sim = DensityMatrixSimulator(model)
+        qc = QuantumCircuit(2)  # identity: ideal distribution is delta at 00
+        with_ro = sim.probabilities(qc, with_readout_error=True)
+        without_ro = sim.probabilities(qc, with_readout_error=False)
+        assert without_ro[0] == pytest.approx(1.0)
+        assert with_ro[0] < 1.0
+        assert with_ro.sum() == pytest.approx(1.0)
+
+    def test_initial_state_width_check(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator().run(
+                QuantumCircuit(2), initial_state=DensityMatrix.zero_state(3)
+            )

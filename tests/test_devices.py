@@ -1,0 +1,124 @@
+"""Device snapshots: Table 1 data, topology, noise-model construction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import Gate
+from repro.noise import TABLE1_CNOT_ERRORS, available_devices, get_device
+from repro.noise.sweep import PAPER_SWEEP_LEVELS, cnot_error_sweep
+
+
+class TestSnapshots:
+    @pytest.mark.parametrize("name", sorted(TABLE1_CNOT_ERRORS))
+    def test_published_average_cnot_error(self, name):
+        device = get_device(name)
+        _, published = TABLE1_CNOT_ERRORS[name]
+        assert device.average_cnot_error() == pytest.approx(published, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_CNOT_ERRORS))
+    def test_qubit_counts(self, name):
+        device = get_device(name)
+        assert device.num_qubits == TABLE1_CNOT_ERRORS[name][0]
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_CNOT_ERRORS))
+    def test_connected_topology(self, name):
+        assert nx.is_connected(get_device(name).coupling_graph())
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_CNOT_ERRORS))
+    def test_heavy_hex_degree_bound(self, name):
+        graph = get_device(name).coupling_graph()
+        assert max(dict(graph.degree).values()) <= 3
+
+    def test_prefixed_name_accepted(self):
+        assert get_device("ibmq_toronto").name == "toronto"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("yorktown")
+
+    def test_deterministic_and_cached(self):
+        a, b = get_device("rome"), get_device("rome")
+        assert a is b
+
+    def test_available_devices(self):
+        assert set(available_devices()) == set(TABLE1_CNOT_ERRORS)
+
+    def test_t2_physical(self):
+        device = get_device("manhattan")
+        for q in range(device.num_qubits):
+            assert device.t2[q] <= 2 * device.t1[q] + 1e-9
+
+    def test_edge_error_symmetric_lookup(self):
+        device = get_device("ourense")
+        assert device.edge_error(0, 1) == device.edge_error(1, 0)
+        with pytest.raises(KeyError):
+            device.edge_error(0, 4)
+
+    def test_noise_report_mentions_all_couplers(self):
+        device = get_device("ourense")
+        report = device.noise_report()
+        for a, b in device.edges:
+            assert f"{a:>2}-{b:<2}" in report
+
+
+class TestNoiseModelConstruction:
+    def test_default_subset_is_first_five(self):
+        model = get_device("toronto").noise_model()
+        # toronto edge (0,1) should be registered with its calibrated rate
+        err = model.gate_error(Gate("cx", (0, 1)))
+        assert err.depolarizing == get_device("toronto").edge_error(0, 1)
+
+    def test_subset_relabelling(self):
+        device = get_device("toronto")
+        model = device.noise_model([5, 3, 8])
+        # physical edge (3, 5) -> local (1, 0)
+        err = model.gate_error(Gate("cx", (1, 0)))
+        assert err.depolarizing == device.edge_error(3, 5)
+
+    def test_fallback_for_uncoupled_pair(self):
+        device = get_device("ourense")
+        model = device.noise_model()
+        err = model.gate_error(Gate("cx", (0, 4)))  # not a coupler
+        assert err.depolarizing == pytest.approx(device.average_cnot_error())
+
+    def test_out_of_range_subset_rejected(self):
+        with pytest.raises(ValueError):
+            get_device("rome").noise_model([0, 9])
+
+    def test_readout_toggle(self):
+        device = get_device("rome")
+        with_ro = device.noise_model()
+        without_ro = device.noise_model(include_readout=False)
+        assert with_ro.has_readout_error
+        assert not without_ro.has_readout_error
+
+    def test_thermal_toggle(self):
+        device = get_device("rome")
+        model = device.noise_model(include_thermal=False)
+        err = model.gate_error(Gate("cx", (0, 1)))
+        assert err.t1s is None
+
+
+class TestSweep:
+    def test_paper_levels(self):
+        assert PAPER_SWEEP_LEVELS == (0.0, 0.03, 0.06, 0.12, 0.24)
+
+    def test_sweep_pins_cnot_error(self):
+        models = cnot_error_sweep("ourense", [0.0, 0.12, 0.24])
+        assert [m.average_cnot_error() for m in models] == [0.0, 0.12, 0.24]
+
+    def test_sweep_keeps_other_errors(self):
+        base = get_device("ourense").noise_model()
+        swept = cnot_error_sweep("ourense", [0.12])[0]
+        base_u3 = base.gate_error(Gate("u3", (0,), (0.0, 0.0, 0.0)))
+        swept_u3 = swept.gate_error(Gate("u3", (0,), (0.0, 0.0, 0.0)))
+        assert base_u3.depolarizing == swept_u3.depolarizing
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            cnot_error_sweep("ourense", [1.5])
+
+    def test_device_object_accepted(self):
+        models = cnot_error_sweep(get_device("rome"), [0.1])
+        assert models[0].average_cnot_error() == pytest.approx(0.1)

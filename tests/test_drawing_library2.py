@@ -1,0 +1,98 @@
+"""ASCII circuit drawing and the extended circuit library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    bell_pair,
+    bind_parameters,
+    draw_circuit,
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    w_state_circuit,
+)
+from repro.linalg import is_unitary
+from repro.sim import StatevectorSimulator
+
+
+class TestDrawing:
+    def test_one_line_per_qubit(self):
+        art = draw_circuit(ghz_circuit(3))
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0:")
+
+    def test_cx_symbols(self):
+        art = draw_circuit(QuantumCircuit(2).cx(0, 1))
+        assert "●" in art and "X" in art
+
+    def test_vertical_connector_spans_gap(self):
+        art = draw_circuit(QuantumCircuit(3).cx(0, 2))
+        middle = art.splitlines()[1]
+        assert "│" in middle
+
+    def test_parallel_gates_share_column(self):
+        art_parallel = draw_circuit(QuantumCircuit(2).h(0).h(1))
+        art_serial = draw_circuit(QuantumCircuit(2).h(0).h(0))
+        assert len(art_parallel.splitlines()[0]) < len(
+            art_serial.splitlines()[0]
+        )
+
+    def test_measure_and_barrier_rendered(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.measure_all()
+        art = draw_circuit(qc)
+        assert "░" in art and "[M]" in art
+
+    def test_params_rendered(self):
+        art = draw_circuit(QuantumCircuit(1).rx(0.5, 0))
+        assert "RX(0.5)" in art
+
+    def test_max_width_truncates(self):
+        qc = QuantumCircuit(1)
+        for _ in range(50):
+            qc.h(0)
+        art = draw_circuit(qc, max_width=40)
+        assert all(len(line) <= 41 for line in art.splitlines())
+        assert "…" in art
+
+    def test_circuit_draw_method(self):
+        assert "●" in ghz_circuit(2).draw()
+        assert "h" in ghz_circuit(2).draw(style="list")
+        with pytest.raises(ValueError):
+            ghz_circuit(2).draw(style="png")
+
+
+class TestExtendedLibrary:
+    def test_bell_pair(self):
+        probs = StatevectorSimulator().probabilities(bell_pair())
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_w_state_amplitudes(self, n):
+        probs = StatevectorSimulator().probabilities(w_state_circuit(n))
+        for k in range(n):
+            assert probs[1 << k] == pytest.approx(1.0 / n, abs=1e-9)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_w_state_minimum_width(self):
+        with pytest.raises(ValueError):
+            w_state_circuit(1)
+
+    def test_hea_parameter_count(self):
+        qc, params = hardware_efficient_ansatz(3, 2)
+        assert len(params) == 2 * 3 * 2
+        assert qc.cnot_count == 2 * 2
+
+    def test_hea_binds_to_unitary(self):
+        qc, params = hardware_efficient_ansatz(2, 1)
+        bound = bind_parameters(qc, {p.name: 0.3 for p in params})
+        assert is_unitary(bound.unitary())
+
+    def test_hea_distinct_parameter_names(self):
+        _qc, params = hardware_efficient_ansatz(3, 3)
+        names = [p.name for p in params]
+        assert len(names) == len(set(names))

@@ -1,0 +1,46 @@
+"""Smoke-run every example script at the fastest scale.
+
+Examples are the user-facing face of the repository; each must run to
+completion and print its interpretation. Heavy pools are disk-cached, so
+these run in seconds after the first suite execution.
+"""
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its result
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "tfim_dynamics",
+        "grover_on_hardware",
+        "noise_sensitivity",
+        "toffoli_mappings",
+        "wider_circuits",
+        "device_characterization",
+    } <= names

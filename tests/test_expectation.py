@@ -1,0 +1,86 @@
+"""Observable estimation from distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    average_magnetization,
+    parity_expectation,
+    pauli_z_signs,
+    z_expectation,
+)
+
+
+def _delta(n, index):
+    p = np.zeros(2**n)
+    p[index] = 1.0
+    return p
+
+
+class TestZExpectation:
+    def test_zero_state(self):
+        assert z_expectation(_delta(3, 0), 0) == 1.0
+
+    def test_flipped_qubit(self):
+        assert z_expectation(_delta(3, 0b010), 1) == -1.0
+        assert z_expectation(_delta(3, 0b010), 0) == 1.0
+
+    def test_uniform_distribution_zero(self):
+        assert z_expectation(np.full(8, 1 / 8), 1) == pytest.approx(0.0)
+
+    def test_qubit_range_check(self):
+        with pytest.raises(ValueError):
+            z_expectation(_delta(2, 0), 5)
+
+    def test_signs_table(self):
+        signs = pauli_z_signs(2, 0)
+        assert list(signs) == [1.0, -1.0, 1.0, -1.0]
+
+
+class TestMagnetization:
+    def test_all_zeros_is_one(self):
+        assert average_magnetization(_delta(3, 0)) == 1.0
+
+    def test_all_ones_is_minus_one(self):
+        assert average_magnetization(_delta(3, 0b111)) == -1.0
+
+    def test_single_flip_on_three_sites(self):
+        assert average_magnetization(_delta(3, 0b001)) == pytest.approx(1 / 3)
+
+    def test_uniform_is_zero(self):
+        assert average_magnetization(np.full(16, 1 / 16)) == pytest.approx(0.0)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            average_magnetization(np.ones(3) / 3)
+
+    def test_equals_mean_of_z_expectations(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(8)
+        probs /= probs.sum()
+        manual = np.mean([z_expectation(probs, q) for q in range(3)])
+        assert average_magnetization(probs) == pytest.approx(manual)
+
+
+class TestParity:
+    def test_even_state(self):
+        assert parity_expectation(_delta(2, 0b11), [0, 1]) == 1.0
+
+    def test_odd_state(self):
+        assert parity_expectation(_delta(2, 0b01), [0, 1]) == -1.0
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            parity_expectation(_delta(2, 0), [3])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_magnetization_bounds_property(seed):
+    """Property: magnetization of any distribution lies in [-1, 1]."""
+    rng = np.random.default_rng(seed)
+    probs = rng.random(8)
+    probs /= probs.sum()
+    assert -1.0 - 1e-9 <= average_magnetization(probs) <= 1.0 + 1e-9

@@ -1,0 +1,91 @@
+"""The structured fast evaluator (the synthesis hot path)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import haar_unitary
+from repro.synthesis import CircuitStructure, StructureEvaluator
+from repro.synthesis.objective import HilbertSchmidtObjective
+
+
+@pytest.fixture
+def setup(rng):
+    target = haar_unitary(8, rng)
+    structure = CircuitStructure(
+        3, ((0, 1), (1, 2), (0, 2), (0, 1), (1, 2))
+    )
+    return target, structure, StructureEvaluator(target, structure)
+
+
+class TestStructureEvaluator:
+    def test_unitary_matches_generic_path(self, setup, rng):
+        target, structure, evaluator = setup
+        for _ in range(5):
+            params = rng.uniform(-np.pi, np.pi, structure.num_params)
+            assert np.allclose(
+                evaluator.unitary(params), structure.unitary(params), atol=1e-12
+            )
+
+    def test_unitary_is_unitary(self, setup, rng):
+        _t, structure, evaluator = setup
+        params = rng.uniform(-np.pi, np.pi, structure.num_params)
+        u = evaluator.unitary(params)
+        assert np.allclose(u.conj().T @ u, np.eye(8), atol=1e-10)
+
+    def test_gradient_matches_generic_path(self, setup, rng):
+        target, structure, evaluator = setup
+        objective = HilbertSchmidtObjective(target, structure)
+        for _ in range(3):
+            params = rng.uniform(-np.pi, np.pi, structure.num_params)
+            c_fast, g_fast = evaluator.smooth_cost_and_grad(params)
+            c_ref, g_ref = objective.smooth_cost_and_grad_reference(params)
+            assert abs(c_fast - c_ref) < 1e-12
+            assert np.max(np.abs(g_fast - g_ref)) < 1e-10
+
+    def test_gradient_finite_difference(self, setup, rng):
+        _t, structure, evaluator = setup
+        params = rng.uniform(-np.pi, np.pi, structure.num_params)
+        cost, grad = evaluator.smooth_cost_and_grad(params)
+        eps = 1e-7
+        for i in range(0, structure.num_params, 7):  # sample of params
+            shifted = params.copy()
+            shifted[i] += eps
+            fd = (evaluator.smooth_cost(shifted) - cost) / eps
+            assert abs(fd - grad[i]) < 1e-4, i
+
+    def test_hs_distance_consistent(self, setup, rng):
+        _t, structure, evaluator = setup
+        params = rng.uniform(-np.pi, np.pi, structure.num_params)
+        hs = evaluator.hs_distance(params)
+        assert hs == pytest.approx(np.sqrt(evaluator.smooth_cost(params)))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            StructureEvaluator(np.eye(4), CircuitStructure(3))
+
+    def test_zero_placement_structure(self, rng):
+        target = haar_unitary(4, rng)
+        structure = CircuitStructure(2)
+        evaluator = StructureEvaluator(target, structure)
+        params = rng.uniform(-np.pi, np.pi, 6)
+        cost, grad = evaluator.smooth_cost_and_grad(params)
+        assert grad.shape == (6,)
+        assert 0.0 <= cost <= 1.0
+
+    def test_two_qubit_structures(self, rng):
+        target = haar_unitary(4, rng)
+        structure = CircuitStructure(2, ((0, 1), (0, 1), (0, 1)))
+        evaluator = StructureEvaluator(target, structure)
+        objective = HilbertSchmidtObjective(target, structure)
+        params = rng.uniform(-np.pi, np.pi, structure.num_params)
+        c1, g1 = evaluator.smooth_cost_and_grad(params)
+        c2, g2 = objective.smooth_cost_and_grad_reference(params)
+        assert abs(c1 - c2) < 1e-12 and np.max(np.abs(g1 - g2)) < 1e-10
+
+    def test_reversed_edge_direction(self, rng):
+        """CNOT direction (a, b) vs (b, a) must produce different circuits."""
+        target = haar_unitary(4, rng)
+        params = rng.uniform(-np.pi, np.pi, 12)
+        fwd = StructureEvaluator(target, CircuitStructure(2, ((0, 1),)))
+        rev = StructureEvaluator(target, CircuitStructure(2, ((1, 0),)))
+        assert not np.allclose(fwd.unitary(params), rev.unitary(params))

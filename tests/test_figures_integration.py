@@ -1,0 +1,217 @@
+"""End-to-end integration tests: one test per paper table/figure.
+
+Each test runs the figure driver at ``smoke`` scale (synthesis results are
+disk-cached after the first run) and asserts the figure's qualitative
+"shape to hold" from DESIGN.md. These are the reproduction's acceptance
+tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig07b,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    table1,
+    table1_rows,
+)
+from repro.metrics import UNIFORM_NOISE_JS
+from repro.noise import TABLE1_CNOT_ERRORS
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        rows = {r.machine.lower(): r for r in table1()}
+        for name, (nq, err) in TABLE1_CNOT_ERRORS.items():
+            assert rows[name].num_qubits == nq
+            assert rows[name].avg_cnot_error == pytest.approx(err, abs=1e-9)
+
+    def test_rows_render(self):
+        text = table1_rows()
+        assert "Manhattan" in text and "0.01578" in text
+
+
+class TestFig02Fig03:
+    """3q TFIM under the Toronto noise model."""
+
+    def test_noisy_reference_diverges_with_depth(self):
+        r = fig02(SMOKE)
+        errors = np.abs(r.noisy_reference - r.noise_free)
+        # late timesteps (deep circuits) carry more error than early ones
+        assert errors[-1] > errors[0]
+
+    def test_best_approximation_beats_reference(self):
+        r = fig02(SMOKE)
+        assert r.best_error() < r.reference_error()
+        assert r.improvement() > 0.3
+
+    def test_minimal_hs_beats_reference_overall(self):
+        r = fig02(SMOKE)
+        assert r.minimal_hs_error() < r.reference_error()
+
+    def test_best_beats_minimal_hs(self):
+        """Observation 1: output-selected circuits beat HS-selected ones."""
+        r = fig02(SMOKE)
+        assert r.best_error() <= r.minimal_hs_error()
+
+    def test_fig03_shares_points(self):
+        r2, r3 = fig02(SMOKE), fig03(SMOKE)
+        assert len(r2.points) == len(r3.points)
+        assert r3.figure_id == "fig03"
+
+    def test_most_approximations_beat_noisy_reference(self):
+        assert fig03(SMOKE).fraction_beating_reference() > 0.5
+
+    def test_rows_render(self):
+        text = fig02(SMOKE).rows()
+        assert "noise_free" in text and "improvement" in text
+
+
+class TestFig04:
+    """4q TFIM under the Santiago noise model."""
+
+    def test_wide_cnot_range(self):
+        r = fig04(SMOKE)
+        counts = sorted({p.cnot_count for p in r.points})
+        assert counts[0] <= 1 and counts[-1] >= 4
+
+    def test_best_approximation_beats_reference(self):
+        r = fig04(SMOKE)
+        assert r.best_error() < r.reference_error()
+
+
+class TestErrorSweeps:
+    """Figures 8-10: Ourense base model with pinned CNOT error."""
+
+    def test_more_error_hurts_reference_more(self):
+        errs = [fig08(SMOKE), fig09(SMOKE), fig10(SMOKE)]
+        ref_errors = [r.reference_error() for r in errs]
+        assert ref_errors[0] < ref_errors[1] < ref_errors[2]
+
+    def test_approximations_win_more_under_noise(self):
+        """Observation 6: higher 2q noise -> more benefit from short circuits."""
+        f8, f10 = fig08(SMOKE), fig10(SMOKE)
+        assert f10.fraction_beating_reference() > f8.fraction_beating_reference()
+
+    def test_zero_cnot_error_keeps_deep_circuits_usable(self):
+        r = fig08(SMOKE)
+        # with no CNOT noise the best circuits are not forced shallow
+        assert max(r.best_depth_series()) >= 3
+
+    def test_best_circuits_stay_good_at_high_noise(self):
+        r = fig10(SMOKE)
+        assert r.best_error() < 0.15
+
+
+class TestFig11:
+    def test_depth_shrinks_with_error(self):
+        r = fig11(SMOKE)
+        levels = sorted(r.series)
+        assert r.mean_depth(levels[-1]) <= r.mean_depth(levels[0])
+
+    def test_all_levels_present(self):
+        r = fig11(SMOKE)
+        assert set(r.series) == {0.0, 0.03, 0.06, 0.12, 0.24}
+
+    def test_rows_render(self):
+        assert "mean depth" in fig11(SMOKE).rows()
+
+
+class TestHardwareFigures:
+    """Figures 12-15: emulated IBM hardware."""
+
+    def test_fig12_most_approximations_beat_reference(self):
+        r = fig12(SMOKE)
+        assert r.fraction_beating_reference() > 0.5
+        assert r.improvement() > 0.3
+
+    def test_fig13_majority_beat_reference(self):
+        r = fig13(SMOKE)
+        assert r.fraction_beating_reference() > 0.4
+
+    def test_fig12_similar_distribution_to_noise_model(self):
+        """Observation 7: hardware results distributed like fig09-style sims."""
+        hw = fig12(SMOKE)
+        sim = fig02(SMOKE)
+        # both should show the same qualitative win-rate regime
+        assert abs(
+            hw.fraction_beating_reference() - sim.fraction_beating_reference()
+        ) < 0.35
+
+    def test_fig14_reference_routed_heavy(self):
+        r = fig14(SMOKE)
+        assert r.reference.cnot_count > 30  # paper: "more than 50 CNOTs"
+        assert r.fraction_better_than_reference() > 0.5
+
+    def test_fig15_best_approximation_wins_on_hardware(self):
+        r = fig15(SMOKE)
+        assert r.best().value < r.reference.value
+        assert r.noise_floor == pytest.approx(UNIFORM_NOISE_JS)
+
+
+class TestToffoliFigures:
+    def test_fig06_approximations_can_beat_reference(self):
+        r = fig06(SMOKE)
+        assert r.best().value < r.reference.value
+        best = r.best()
+        assert best.cnot_count < r.reference.cnot_count
+
+    def test_fig07_reference_worse_than_4q(self):
+        r6, r7 = fig06(SMOKE), fig07(SMOKE)
+        assert r7.reference.value > r6.reference.value
+
+    def test_fig07_deep_circuits_approach_noise_floor(self):
+        r = fig07(SMOKE)
+        deep = [p for p in r.points if p.cnot_count >= 30]
+        if deep:  # smoke-scale pools may stop shallower
+            assert min(abs(p.value - UNIFORM_NOISE_JS) for p in deep) < 0.15
+
+    def test_fig07b_negative_result(self):
+        """Observation 4: 3q Toffoli approximations do NOT beat the 6-CNOT ref."""
+        r = fig07b(SMOKE)
+        assert r.fraction_better_than_reference() < 0.2
+        assert r.reference.cnot_count == 6
+
+
+class TestMappingFigures:
+    def test_fig16_report(self):
+        text = fig16()
+        assert "toronto" in text and "manual mapping regions" in text
+
+    def test_fig17_best_has_lower_js_than_fig18(self):
+        assert fig17(SMOKE).best().value < fig18(SMOKE).best().value
+
+    def test_fig17_about_a_third_below_reference(self):
+        frac = fig17(SMOKE).fraction_better_than_reference()
+        assert 0.1 < frac < 0.8  # paper: "about a third"
+
+    def test_fig19_auto_between_best_and_worst(self):
+        best = fig17(SMOKE).best().value
+        worst = fig18(SMOKE).best().value
+        auto = fig19(SMOKE).best().value
+        assert best <= auto + 0.05  # auto no better than the best manual (within noise)
+        assert auto <= worst + 0.05
+
+    def test_mapping_ordering_is_measured_not_predicted(self):
+        """Observation 9: outcome ranking need not follow CNOT calibration."""
+        r17, r18 = fig17(SMOKE), fig18(SMOKE)
+        assert r17.figure_id == "fig17" and r18.figure_id == "fig18"
+        assert r17.description != r18.description

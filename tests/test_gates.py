@@ -1,0 +1,233 @@
+"""Unit tests for the gate registry and gate matrices."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    CXGate,
+    GATE_REGISTRY,
+    Gate,
+    U3Gate,
+    gate_matrix,
+    standard_gate,
+    u3_matrix,
+)
+from repro.linalg import allclose_up_to_global_phase, is_unitary
+
+SQ2 = 1.0 / math.sqrt(2.0)
+
+
+class TestFixedGateMatrices:
+    def test_pauli_x(self):
+        assert np.allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+
+    def test_pauli_y(self):
+        assert np.allclose(gate_matrix("y"), [[0, -1j], [1j, 0]])
+
+    def test_pauli_z(self):
+        assert np.allclose(gate_matrix("z"), np.diag([1, -1]))
+
+    def test_hadamard(self):
+        assert np.allclose(gate_matrix("h"), [[SQ2, SQ2], [SQ2, -SQ2]])
+
+    def test_s_squares_to_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_squares_to_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_sdg_is_s_adjoint(self):
+        assert np.allclose(gate_matrix("sdg"), gate_matrix("s").conj().T)
+
+    def test_tdg_is_t_adjoint(self):
+        assert np.allclose(gate_matrix("tdg"), gate_matrix("t").conj().T)
+
+    def test_sx_squares_to_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_every_registered_gate_is_unitary(self):
+        for name, definition in GATE_REGISTRY.items():
+            params = tuple(0.3 + 0.1 * i for i in range(definition.num_params))
+            assert is_unitary(gate_matrix(name, params)), name
+
+    def test_cx_flips_target_when_control_set(self):
+        cx = gate_matrix("cx")
+        # |q1 q0> = |01> (control q0 set) -> |11>
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        out = cx @ state
+        assert out[0b11] == 1.0
+
+    def test_cx_identity_when_control_clear(self):
+        cx = gate_matrix("cx")
+        state = np.zeros(4)
+        state[0b10] = 1.0  # only q1 set: control clear
+        out = cx @ state
+        assert out[0b10] == 1.0
+
+    def test_cz_symmetric(self):
+        cz = gate_matrix("cz")
+        assert np.allclose(cz, cz.T)
+        assert np.allclose(np.diag(cz), [1, 1, 1, -1])
+
+    def test_swap(self):
+        swap = gate_matrix("swap")
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        assert (swap @ state)[0b10] == 1.0
+
+    def test_ccx_truth_table(self):
+        ccx = gate_matrix("ccx")
+        for i in range(8):
+            out = np.nonzero(ccx[:, i])[0][0]
+            controls_set = (i & 0b011) == 0b011
+            expected = i ^ 0b100 if controls_set else i
+            assert out == expected, i
+
+    def test_cswap_truth_table(self):
+        cswap = gate_matrix("cswap")
+        for i in range(8):
+            out = np.nonzero(cswap[:, i])[0][0]
+            if i & 1:  # control set: swap bits 1 and 2
+                b1, b2 = (i >> 1) & 1, (i >> 2) & 1
+                expected = (i & 1) | (b2 << 1) | (b1 << 2)
+            else:
+                expected = i
+            assert out == expected, i
+
+
+class TestParametricGates:
+    def test_u3_special_cases(self):
+        assert allclose_up_to_global_phase(
+            gate_matrix("u3", (math.pi / 2, 0.0, math.pi)), gate_matrix("h")
+        )
+        assert allclose_up_to_global_phase(
+            gate_matrix("u3", (math.pi, 0.0, math.pi)), gate_matrix("x")
+        )
+
+    def test_u2_is_u3_at_half_pi(self):
+        assert np.allclose(
+            gate_matrix("u2", (0.4, 1.1)),
+            gate_matrix("u3", (math.pi / 2, 0.4, 1.1)),
+        )
+
+    def test_u1_is_phase(self):
+        lam = 0.77
+        assert np.allclose(
+            gate_matrix("u1", (lam,)), np.diag([1.0, cmath.exp(1j * lam)])
+        )
+
+    def test_rz_vs_u1_phase_relation(self):
+        theta = 1.23
+        rz = gate_matrix("rz", (theta,))
+        u1 = gate_matrix("u1", (theta,))
+        assert allclose_up_to_global_phase(rz, u1)
+
+    def test_rx_at_pi_is_x(self):
+        assert allclose_up_to_global_phase(
+            gate_matrix("rx", (math.pi,)), gate_matrix("x")
+        )
+
+    def test_ry_at_pi_is_y(self):
+        assert allclose_up_to_global_phase(
+            gate_matrix("ry", (math.pi,)), gate_matrix("y")
+        )
+
+    def test_rzz_diagonal(self):
+        theta = 0.9
+        m = gate_matrix("rzz", (theta,))
+        e = cmath.exp(-1j * theta / 2)
+        assert np.allclose(np.diag(m), [e, e.conjugate(), e.conjugate(), e])
+
+    def test_rzz_zero_is_identity(self):
+        assert np.allclose(gate_matrix("rzz", (0.0,)), np.eye(4))
+
+    def test_rxx_equals_conjugated_rzz(self):
+        theta = 0.73
+        h2 = np.kron(gate_matrix("h"), gate_matrix("h"))
+        expected = h2 @ gate_matrix("rzz", (theta,)) @ h2
+        assert np.allclose(gate_matrix("rxx", (theta,)), expected)
+
+    def test_crx_controls_low_bit(self):
+        theta = 1.1
+        m = gate_matrix("crx", (theta,))
+        # control clear (bit0 = 0) -> identity on those columns
+        assert m[0, 0] == 1.0 and m[2, 2] == 1.0
+        assert abs(m[1, 1] - math.cos(theta / 2)) < 1e-12
+
+    def test_cu1_symmetric(self):
+        m = gate_matrix("cu1", (0.5,))
+        assert np.allclose(m, m.T)
+
+
+class TestGateInstances:
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            Gate("nope", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("u3", (0,), (1.0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_gate_hashable_and_equal(self):
+        a = Gate("u3", (0,), (0.1, 0.2, 0.3))
+        b = Gate("u3", (0,), (0.1, 0.2, 0.3))
+        assert a == b and hash(a) == hash(b)
+
+    def test_inverse_roundtrip_parametric(self):
+        for name, params in [
+            ("u3", (0.3, 1.1, -0.4)),
+            ("u2", (0.5, 0.2)),
+            ("u1", (0.9,)),
+            ("rx", (0.8,)),
+            ("ry", (1.4,)),
+            ("rz", (2.2,)),
+            ("rzz", (0.6,)),
+            ("crx", (0.3,)),
+            ("s", ()),
+            ("t", ()),
+            ("sx", ()),
+        ]:
+            definition = GATE_REGISTRY[name]
+            g = Gate(name, tuple(range(definition.num_qubits)), params)
+            prod = g.inverse().matrix() @ g.matrix()
+            assert allclose_up_to_global_phase(
+                np.eye(prod.shape[0]), prod
+            ), name
+
+    def test_self_inverse_gates(self):
+        for name in ("x", "y", "z", "h", "cx", "cz", "swap", "ccx", "cswap"):
+            definition = GATE_REGISTRY[name]
+            g = Gate(name, tuple(range(definition.num_qubits)))
+            assert g.inverse() is g
+
+    def test_measure_has_no_matrix(self):
+        g = Gate("measure", (0, 1))
+        assert not g.is_unitary
+        with pytest.raises(ValueError):
+            g.matrix()
+
+    def test_entangler_classification(self):
+        assert Gate("cx", (0, 1)).is_entangler()
+        assert Gate("rzz", (0, 1), (0.4,)).is_entangler()
+        assert not Gate("h", (0,)).is_entangler()
+        assert not Gate("crx", (0, 1), (0.4,)).is_entangler()
+
+    def test_shortcut_constructors(self):
+        assert U3Gate(2, 0.1, 0.2, 0.3) == Gate("u3", (2,), (0.1, 0.2, 0.3))
+        assert CXGate(1, 0) == Gate("cx", (1, 0))
+        assert standard_gate("h", 3) == Gate("h", (3,))

@@ -1,0 +1,82 @@
+"""Gradient machinery: analytic derivatives vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import gate_matrix
+from repro.linalg import (
+    GateSpec,
+    circuit_unitary_and_gradient,
+    u3_matrix_and_derivatives,
+)
+
+
+def _build_specs(params):
+    m1, d1 = u3_matrix_and_derivatives(*params[0:3])
+    m2, d2 = u3_matrix_and_derivatives(*params[3:6])
+    m3, d3 = u3_matrix_and_derivatives(*params[6:9])
+    return [
+        GateSpec((0,), m1, d1, 0),
+        GateSpec((1,), m2, d2, 3),
+        GateSpec((0, 1), gate_matrix("cx")),
+        GateSpec((1,), m3, d3, 6),
+    ]
+
+
+class TestU3Derivatives:
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_finite_difference(self, index, rng):
+        p = rng.uniform(-np.pi, np.pi, 3)
+        m, dm = u3_matrix_and_derivatives(*p)
+        eps = 1e-7
+        p2 = p.copy()
+        p2[index] += eps
+        m2, _ = u3_matrix_and_derivatives(*p2)
+        fd = (m2 - m) / eps
+        assert np.max(np.abs(fd - dm[index])) < 1e-6
+
+    def test_matrix_matches_registry(self, rng):
+        p = rng.uniform(-np.pi, np.pi, 3)
+        m, _ = u3_matrix_and_derivatives(*p)
+        assert np.allclose(m, gate_matrix("u3", tuple(p)))
+
+
+class TestCircuitGradient:
+    def test_unitary_matches_composition(self, rng):
+        p = rng.uniform(-np.pi, np.pi, 9)
+        u, _ = circuit_unitary_and_gradient(_build_specs(p), 2, 9)
+        assert np.allclose(u.conj().T @ u, np.eye(4), atol=1e-10)
+
+    def test_gradient_vs_finite_difference(self, rng):
+        p = rng.uniform(-np.pi, np.pi, 9)
+        u, du = circuit_unitary_and_gradient(_build_specs(p), 2, 9)
+        eps = 1e-7
+        for i in range(9):
+            p2 = p.copy()
+            p2[i] += eps
+            u2, _ = circuit_unitary_and_gradient(_build_specs(p2), 2, 9)
+            fd = (u2 - u) / eps
+            assert np.max(np.abs(fd - du[i])) < 1e-5, i
+
+    def test_zero_params(self):
+        specs = [GateSpec((0, 1), gate_matrix("cx"))]
+        u, du = circuit_unitary_and_gradient(specs, 2, 0)
+        assert np.allclose(u, gate_matrix("cx"))
+        assert du.shape == (0, 4, 4)
+
+    def test_three_qubits(self, rng):
+        p = rng.uniform(-np.pi, np.pi, 3)
+        m, dm = u3_matrix_and_derivatives(*p)
+        specs = [
+            GateSpec((2,), m, dm, 0),
+            GateSpec((0, 2), gate_matrix("cx")),
+        ]
+        u, du = circuit_unitary_and_gradient(specs, 3, 3)
+        eps = 1e-7
+        for i in range(3):
+            p2 = p.copy()
+            p2[i] += eps
+            m2, dm2 = u3_matrix_and_derivatives(*p2)
+            specs2 = [GateSpec((2,), m2, dm2, 0), GateSpec((0, 2), gate_matrix("cx"))]
+            u2, _ = circuit_unitary_and_gradient(specs2, 3, 3)
+            assert np.max(np.abs((u2 - u) / eps - du[i])) < 1e-5

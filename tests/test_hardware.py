@@ -1,0 +1,104 @@
+"""Hardware emulation: drift, crosstalk, shots, mapping regions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.hardware import FakeHardware, mapping_candidates, noise_report, paper_mappings
+from repro.metrics import total_variation_distance
+from repro.noise import get_device
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+
+
+class TestFakeHardware:
+    def test_run_returns_distribution(self):
+        hw = FakeHardware("rome", shots=2048, seed=1)
+        probs = hw.run(ghz_circuit(3))
+        assert probs.size == 8
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_deterministic_for_seed(self):
+        a = FakeHardware("rome", shots=1024, seed=5).run(ghz_circuit(2))
+        b = FakeHardware("rome", shots=1024, seed=5).run(ghz_circuit(2))
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = FakeHardware("rome", shots=1024, seed=5).run(ghz_circuit(2))
+        b = FakeHardware("rome", shots=1024, seed=6).run(ghz_circuit(2))
+        assert not np.allclose(a, b)
+
+    def test_noisier_than_clean_noise_model(self):
+        circuit = ghz_circuit(3)
+        ideal = StatevectorSimulator().run(circuit).probabilities()
+        clean = DensityMatrixSimulator(
+            get_device("manhattan").noise_model()
+        ).probabilities(circuit)
+        hw = FakeHardware("manhattan", seed=3).run_exact(circuit)
+        assert total_variation_distance(ideal, hw) > total_variation_distance(
+            ideal, clean
+        ) * 0.8
+
+    def test_drift_zero_matches_calibration(self):
+        hw = FakeHardware("rome", drift=0.0, crosstalk=0.0, seed=1)
+        circuit = ghz_circuit(3)
+        clean = DensityMatrixSimulator(
+            get_device("rome").noise_model()
+        ).probabilities(circuit)
+        assert np.allclose(hw.run_exact(circuit), clean, atol=1e-10)
+
+    def test_crosstalk_adds_error(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 1).cx(0, 1).cx(0, 1)
+        ideal = StatevectorSimulator().run(circuit).probabilities()
+        quiet = FakeHardware("rome", drift=0.0, crosstalk=0.0, seed=1)
+        loud = FakeHardware("rome", drift=0.0, crosstalk=2.0, seed=1)
+        tvd_quiet = total_variation_distance(ideal, quiet.run_exact(circuit))
+        tvd_loud = total_variation_distance(ideal, loud.run_exact(circuit))
+        assert tvd_loud > tvd_quiet
+
+    def test_width_check(self):
+        hw = FakeHardware("rome", qubits=[0, 1], seed=1)
+        with pytest.raises(ValueError):
+            hw.run(ghz_circuit(3))
+
+    def test_shot_noise_scales_down(self):
+        circuit = ghz_circuit(2)
+        exact = FakeHardware("ourense", seed=9).run_exact(circuit)
+        few = FakeHardware("ourense", shots=64, seed=9).run(circuit)
+        many = FakeHardware("ourense", shots=65536, seed=9).run(circuit)
+        assert total_variation_distance(exact, many) < total_variation_distance(
+            exact, few
+        )
+
+    def test_device_object_accepted(self):
+        hw = FakeHardware(get_device("rome"), seed=1)
+        assert hw.device.name == "rome"
+
+
+class TestMappings:
+    def test_four_distinct_regions(self):
+        maps = paper_mappings("toronto")
+        assert len(maps) == 4
+        assert len({tuple(v) for v in maps.values()}) == 4
+
+    def test_regions_are_connected(self):
+        import networkx as nx
+
+        device = get_device("toronto")
+        graph = device.coupling_graph()
+        for subset in paper_mappings("toronto").values():
+            assert nx.is_connected(graph.subgraph(subset))
+
+    def test_candidates_carry_stats(self):
+        cands = mapping_candidates(get_device("toronto"), 4)
+        assert len(cands) > 10
+        for _subset, cx, ro in cands[:5]:
+            assert 0 < cx < 0.5 and 0 < ro < 0.5
+
+    def test_noise_report_mentions_regions(self):
+        report = noise_report("toronto")
+        assert "manual mapping regions" in report
+        assert "best" in report and "worst" in report
+
+    def test_too_small_device_rejected(self):
+        with pytest.raises(ValueError):
+            paper_mappings("ourense", size=5)

@@ -1,0 +1,146 @@
+"""Tests for the dense linear-algebra substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.gates import gate_matrix
+from repro.linalg import (
+    Operator,
+    allclose_up_to_global_phase,
+    apply_matrix_to_state,
+    controlled_unitary,
+    embed_gate,
+    global_phase_aligned,
+    haar_state,
+    haar_unitary,
+    is_unitary,
+    random_special_unitary,
+)
+
+
+class TestApplyMatrix:
+    def test_matches_kron_embedding_1q(self, rng):
+        g = haar_unitary(2, rng)
+        state = haar_state(3, rng)
+        # qubit 1 of 3: kron(I, g, I)
+        full = np.kron(np.eye(2), np.kron(g, np.eye(2)))
+        assert np.allclose(
+            apply_matrix_to_state(g, state, (1,), 3), full @ state
+        )
+
+    def test_matches_kron_embedding_2q_adjacent(self, rng):
+        g = haar_unitary(4, rng)
+        state = haar_state(3, rng)
+        # qubits (0, 1): kron(I, g)
+        full = np.kron(np.eye(2), g)
+        assert np.allclose(
+            apply_matrix_to_state(g, state, (0, 1), 3), full @ state
+        )
+
+    def test_qubit_order_matters(self, rng):
+        cx = gate_matrix("cx")
+        psi01 = apply_matrix_to_state(cx, haar_state(2, 1), (0, 1), 2)
+        psi10 = apply_matrix_to_state(cx, haar_state(2, 1), (1, 0), 2)
+        assert not np.allclose(psi01, psi10)
+
+    def test_batch_application(self, rng):
+        g = haar_unitary(2, rng)
+        batch = np.stack([haar_state(2, s) for s in range(5)], axis=1)
+        out = apply_matrix_to_state(g, batch, (0,), 2)
+        for col in range(5):
+            single = apply_matrix_to_state(g, batch[:, col], (0,), 2)
+            assert np.allclose(out[:, col], single)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_matrix_to_state(np.eye(2), np.zeros(8), (0, 1), 3)
+
+    def test_embed_gate_unitary(self, rng):
+        g = haar_unitary(4, rng)
+        e = embed_gate(g, (0, 2), 3)
+        assert is_unitary(e)
+
+
+class TestOperator:
+    def test_from_circuit(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        op = Operator(qc)
+        assert np.allclose(op.data, qc.unitary())
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            Operator(np.eye(3))
+
+    def test_compose_order(self, rng):
+        a, b = haar_unitary(4, 1), haar_unitary(4, 2)
+        composed = Operator(a).compose(Operator(b))
+        assert np.allclose(composed.data, b @ a)
+
+    def test_tensor(self):
+        x, h = Operator(gate_matrix("x")), Operator(gate_matrix("h"))
+        assert np.allclose(x.tensor(h).data, np.kron(x.data, h.data))
+
+    def test_adjoint_inverts(self, rng):
+        u = Operator(haar_unitary(8, rng))
+        assert (u @ u.adjoint()).equiv(Operator(np.eye(8)))
+
+    def test_equiv_ignores_phase(self, rng):
+        u = haar_unitary(4, rng)
+        assert Operator(u).equiv(Operator(np.exp(0.7j) * u))
+
+
+class TestPhaseHelpers:
+    def test_global_phase_alignment(self, rng):
+        u = haar_unitary(4, rng)
+        v = np.exp(1.3j) * u
+        assert np.allclose(global_phase_aligned(u, v), u)
+
+    def test_allclose_up_to_phase_rejects_distinct(self, rng):
+        assert not allclose_up_to_global_phase(
+            haar_unitary(4, 1), haar_unitary(4, 2)
+        )
+
+
+class TestHaar:
+    @pytest.mark.parametrize("dim", [2, 4, 8])
+    def test_haar_unitary_is_unitary(self, dim):
+        assert is_unitary(haar_unitary(dim, seed=dim))
+
+    def test_special_unitary_det_one(self):
+        u = random_special_unitary(4, seed=3)
+        assert abs(np.linalg.det(u) - 1.0) < 1e-9
+
+    def test_haar_state_normalised(self):
+        psi = haar_state(4, seed=5)
+        assert abs(np.linalg.norm(psi) - 1.0) < 1e-12
+
+    def test_deterministic_for_seed(self):
+        assert np.allclose(haar_unitary(4, 7), haar_unitary(4, 7))
+
+    def test_generator_seed_accepted(self):
+        g = np.random.default_rng(0)
+        haar_unitary(4, g)  # should not raise
+
+
+class TestControlledUnitary:
+    def test_single_control_x_is_cx(self):
+        cu = controlled_unitary(gate_matrix("x"), 1)
+        assert np.allclose(cu, gate_matrix("cx"))
+
+    def test_two_controls_is_ccx(self):
+        cu = controlled_unitary(gate_matrix("x"), 2)
+        assert np.allclose(cu, gate_matrix("ccx"))
+
+    def test_controlled_unitary_is_unitary(self, rng):
+        assert is_unitary(controlled_unitary(haar_unitary(2, rng), 2))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_random_circuit_unitarity_property(seed):
+    """Property: every random circuit's computed unitary is unitary."""
+    qc = random_circuit(3, 15, seed=seed)
+    assert is_unitary(qc.unitary())

@@ -1,0 +1,137 @@
+"""Process and distribution metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import gate_matrix
+from repro.linalg import haar_unitary
+from repro.metrics import (
+    UNIFORM_NOISE_JS,
+    average_gate_fidelity,
+    frobenius_distance,
+    hellinger_distance,
+    hs_distance,
+    jensen_shannon_distance,
+    kl_divergence,
+    process_fidelity,
+    total_variation_distance,
+)
+
+
+def _dist(seed, n=8):
+    rng = np.random.default_rng(seed)
+    p = rng.random(n)
+    return p / p.sum()
+
+
+class TestDistributionMetrics:
+    def test_js_zero_for_identical(self):
+        p = _dist(0)
+        assert jensen_shannon_distance(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_js_symmetric(self):
+        p, q = _dist(1), _dist(2)
+        assert jensen_shannon_distance(p, q) == pytest.approx(
+            jensen_shannon_distance(q, p)
+        )
+
+    def test_js_max_for_disjoint(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon_distance(p, q) == pytest.approx(math.sqrt(math.log(2)))
+
+    def test_js_triangle_inequality(self):
+        p, q, r = _dist(3), _dist(4), _dist(5)
+        assert jensen_shannon_distance(p, r) <= (
+            jensen_shannon_distance(p, q) + jensen_shannon_distance(q, r) + 1e-12
+        )
+
+    def test_uniform_noise_floor_value(self):
+        """The paper's 0.465 line, independent of qubit count."""
+        assert UNIFORM_NOISE_JS == pytest.approx(0.4645, abs=5e-4)
+        for n in (4, 5, 6):
+            d = 2**n
+            half = np.zeros(d)
+            half[: d // 2] = 2.0 / d
+            uniform = np.full(d, 1.0 / d)
+            assert jensen_shannon_distance(half, uniform) == pytest.approx(
+                UNIFORM_NOISE_JS, abs=1e-12
+            )
+
+    def test_kl_asymmetric_and_infinite(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert kl_divergence(p, q) == math.inf
+        assert kl_divergence(q, p) == pytest.approx(math.log(2))
+
+    def test_kl_zero_for_identical(self):
+        p = _dist(6)
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_tvd_bounds(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+        p = _dist(7)
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+    def test_hellinger_bounds(self):
+        assert hellinger_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_distance(np.ones(2) / 2, np.ones(4) / 4)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.5, -0.5]), np.ones(2) / 2)
+
+    def test_unnormalised_inputs_normalised(self):
+        p = np.array([2.0, 2.0])
+        q = np.array([1.0, 1.0])
+        assert jensen_shannon_distance(p, q) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProcessMetrics:
+    def test_process_fidelity_identity(self, rng):
+        u = haar_unitary(4, rng)
+        assert process_fidelity(u, u) == pytest.approx(1.0)
+
+    def test_average_gate_fidelity_relation(self, rng):
+        a, b = haar_unitary(4, 1), haar_unitary(4, 2)
+        d = 4
+        expected = (d * process_fidelity(a, b) + 1) / (d + 1)
+        assert average_gate_fidelity(a, b) == pytest.approx(expected)
+
+    def test_hs_and_fidelity_consistency(self, rng):
+        a, b = haar_unitary(8, 3), haar_unitary(8, 4)
+        assert hs_distance(a, b) ** 2 + process_fidelity(a, b) == pytest.approx(1.0)
+
+    def test_frobenius_phase_aligned(self, rng):
+        u = haar_unitary(4, rng)
+        assert frobenius_distance(u, np.exp(1j) * u) == pytest.approx(0.0, abs=1e-9)
+
+    def test_frobenius_unaligned(self, rng):
+        u = haar_unitary(4, rng)
+        raw = frobenius_distance(u, np.exp(1j) * u, align_phase=False)
+        assert raw > 0.5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_js_metric_axioms_property(seed):
+    """Property: JS distance is a symmetric, bounded pseudo-metric."""
+    rng = np.random.default_rng(seed)
+    p = rng.random(8)
+    q = rng.random(8)
+    p /= p.sum()
+    q /= q.sum()
+    d = jensen_shannon_distance(p, q)
+    assert 0.0 <= d <= math.sqrt(math.log(2)) + 1e-12
+    assert d == pytest.approx(jensen_shannon_distance(q, p))

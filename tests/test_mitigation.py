@@ -1,0 +1,126 @@
+"""Readout mitigation and zero-noise extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import (
+    ReadoutError,
+    apply_readout_errors,
+    get_device,
+    invert_readout,
+    mitigate_readout,
+    richardson_extrapolate,
+    zne_observable,
+)
+from repro.sim import (
+    DensityMatrixSimulator,
+    StatevectorSimulator,
+    average_magnetization,
+)
+from repro.transpile import to_basis_gates
+
+
+def _errors():
+    return [ReadoutError(0.05, 0.08), None, ReadoutError(0.1, 0.02)]
+
+
+class TestReadoutMitigation:
+    def test_inversion_exact_without_shot_noise(self, rng):
+        probs = rng.random(8)
+        probs /= probs.sum()
+        noisy = apply_readout_errors(probs, _errors())
+        recovered = mitigate_readout(noisy, _errors())
+        assert np.allclose(recovered, probs, atol=1e-10)
+
+    def test_raw_inverse_can_leave_simplex(self):
+        # A distribution impossible under this confusion produces negative
+        # quasi-probabilities on inversion.
+        errors = [ReadoutError(0.3, 0.3)]
+        impossible = np.array([1.0, 0.0])
+        quasi = invert_readout(impossible, errors)
+        assert quasi.min() < 0
+        projected = mitigate_readout(impossible, errors)
+        assert projected.min() >= 0
+        assert projected.sum() == pytest.approx(1.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            invert_readout(np.ones(4) / 4, [None])
+
+    def test_identity_when_no_errors(self, rng):
+        probs = rng.random(4)
+        probs /= probs.sum()
+        assert np.allclose(mitigate_readout(probs, [None, None]), probs)
+
+    def test_mitigation_improves_magnetization(self):
+        device = get_device("rome")
+        model = device.noise_model()
+        qc = QuantumCircuit(2)  # ideal magnetization exactly 1
+        sim = DensityMatrixSimulator(model)
+        noisy = sim.probabilities(qc)
+        errors = model.readout_errors(2)
+        mitigated = mitigate_readout(noisy, errors)
+        assert abs(average_magnetization(mitigated) - 1.0) < abs(
+            average_magnetization(noisy) - 1.0
+        )
+
+
+class TestRichardson:
+    def test_linear_exact(self):
+        assert richardson_extrapolate([1, 2], [0.9, 0.8]) == pytest.approx(1.0)
+
+    def test_quadratic_exact(self):
+        f = lambda s: 1.0 - 0.2 * s + 0.05 * s * s
+        scales = [1.0, 1.5, 2.0]
+        assert richardson_extrapolate(
+            scales, [f(s) for s in scales]
+        ) == pytest.approx(1.0)
+
+    def test_duplicate_scales_rejected(self):
+        with pytest.raises(ValueError):
+            richardson_extrapolate([1, 1], [0.5, 0.5])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            richardson_extrapolate([1], [0.5])
+
+
+class TestZNE:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        qc = QuantumCircuit(3)
+        for _ in range(4):
+            qc.rzz(0.3, 0, 1)
+            qc.rzz(0.3, 1, 2)
+            for q in range(3):
+                qc.rx(0.25, q)
+        return to_basis_gates(qc)
+
+    def test_zne_beats_raw(self, workload):
+        model = get_device("rome").noise_model(
+            include_readout=False, include_thermal=False
+        )
+        ideal = average_magnetization(
+            StatevectorSimulator().run(workload).probabilities()
+        )
+        raw = average_magnetization(
+            DensityMatrixSimulator(model).probabilities(
+                workload, with_readout_error=False
+            )
+        )
+        zne = zne_observable(
+            workload,
+            model,
+            average_magnetization,
+            scales=(1.0, 1.5, 2.0),
+            with_readout_error=False,
+        )
+        assert abs(zne - ideal) < abs(raw - ideal)
+
+    def test_invalid_scale_rejected(self, workload):
+        model = get_device("rome").noise_model()
+        with pytest.raises(ValueError):
+            zne_observable(
+                workload, model, average_magnetization, scales=(0.0, 1.0)
+            )

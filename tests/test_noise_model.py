@@ -1,0 +1,117 @@
+"""NoiseModel lookup, structure, and sweep transformations."""
+
+import pytest
+
+from repro.circuits import Gate
+from repro.noise import GateError, NoiseModel, ReadoutError
+
+
+def _model():
+    model = NoiseModel("m")
+    model.add_gate_error(GateError(depolarizing=0.02), "cx", (0, 1))
+    model.add_gate_error(GateError(depolarizing=0.05), "cx", (1, 2))
+    model.add_gate_error(GateError(depolarizing=0.01), "cx", None)
+    model.add_gate_error(GateError(depolarizing=1e-4), "u3", (0,))
+    model.add_readout_error(ReadoutError(0.03, 0.06), 0)
+    return model
+
+
+class TestLookup:
+    def test_exact_match(self):
+        err = _model().gate_error(Gate("cx", (0, 1)))
+        assert err.depolarizing == 0.02
+
+    def test_reversed_direction_matches(self):
+        err = _model().gate_error(Gate("cx", (1, 0)))
+        assert err.depolarizing == 0.02
+
+    def test_default_fallback(self):
+        err = _model().gate_error(Gate("cx", (0, 2)))
+        assert err.depolarizing == 0.01
+
+    def test_unknown_gate_none(self):
+        assert _model().gate_error(Gate("h", (0,))) is None
+
+    def test_operations_compiled_on_gate_qubits(self):
+        ops = _model().operations_for(Gate("cx", (1, 2)))
+        assert len(ops) == 1
+        channel, qubits = ops[0]
+        assert qubits == (1, 2)
+        assert channel.num_qubits == 2
+
+    def test_trivial_error_produces_no_ops(self):
+        model = NoiseModel()
+        model.add_gate_error(GateError(depolarizing=0.0), "cx", None)
+        assert model.operations_for(Gate("cx", (0, 1))) == []
+
+    def test_thermal_component_per_qubit(self):
+        model = NoiseModel()
+        model.add_gate_error(
+            GateError(
+                depolarizing=0.01,
+                t1s=(50e3, 60e3),
+                t2s=(40e3, 50e3),
+                duration=300.0,
+            ),
+            "cx",
+            (0, 1),
+        )
+        ops = model.operations_for(Gate("cx", (0, 1)))
+        # one 2q depolarizing + two 1q thermal channels
+        assert len(ops) == 3
+        assert ops[1][1] == (0,) and ops[2][1] == (1,)
+
+    def test_readout(self):
+        model = _model()
+        assert model.readout_error(0) is not None
+        assert model.readout_error(1) is None
+        assert model.has_readout_error
+        assert len(model.readout_errors(3)) == 3
+
+
+class TestTransforms:
+    def test_average_cnot_error(self):
+        assert _model().average_cnot_error() == pytest.approx(0.035)
+
+    def test_with_cnot_depolarizing(self):
+        swept = _model().with_cnot_depolarizing(0.24)
+        assert swept.gate_error(Gate("cx", (0, 1))).depolarizing == 0.24
+        assert swept.gate_error(Gate("cx", (0, 2))).depolarizing == 0.24
+        # unrelated gates untouched
+        assert swept.gate_error(Gate("u3", (0,), (0.0, 0.0, 0.0))).depolarizing == 1e-4
+
+    def test_sweep_does_not_mutate_original(self):
+        model = _model()
+        model.with_cnot_depolarizing(0.5)
+        assert model.gate_error(Gate("cx", (0, 1))).depolarizing == 0.02
+
+    def test_scaled(self):
+        scaled = _model().scaled(2.0)
+        assert scaled.gate_error(Gate("cx", (0, 1))).depolarizing == pytest.approx(0.04)
+
+    def test_scaled_caps_at_one(self):
+        model = NoiseModel()
+        model.add_gate_error(GateError(depolarizing=0.8), "cx", None)
+        assert model.scaled(5.0).gate_error(Gate("cx", (0, 1))).depolarizing == 1.0
+
+    def test_copy_independent(self):
+        model = _model()
+        clone = model.copy()
+        clone.add_gate_error(GateError(depolarizing=0.9), "cx", (0, 1))
+        assert model.gate_error(Gate("cx", (0, 1))).depolarizing == 0.02
+
+
+class TestGateError:
+    def test_is_trivial(self):
+        assert GateError().is_trivial
+        assert not GateError(depolarizing=0.1).is_trivial
+
+    def test_thermal_needs_matching_widths(self):
+        err = GateError(depolarizing=0.0, t1s=(50e3,), t2s=(40e3,), duration=100.0)
+        with pytest.raises(ValueError):
+            err.compile(2)
+
+    def test_with_depolarizing(self):
+        err = GateError(depolarizing=0.1, duration=5.0)
+        new = err.with_depolarizing(0.3)
+        assert new.depolarizing == 0.3 and new.duration == 5.0

@@ -1,0 +1,83 @@
+"""Symbolic circuit parameters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Parameter,
+    ParameterExpression,
+    QuantumCircuit,
+    bind_parameters,
+    free_parameters,
+)
+from repro.linalg import allclose_up_to_global_phase
+
+
+class TestParameterAlgebra:
+    def test_named(self):
+        p = Parameter("theta")
+        assert p.name == "theta"
+        with pytest.raises(ValueError):
+            Parameter("")
+
+    def test_affine_expressions(self):
+        p = Parameter("x")
+        expr = 2 * p + 1.0
+        assert expr.bind(3.0) == pytest.approx(7.0)
+        assert (-p).bind(2.0) == pytest.approx(-2.0)
+        assert (p / 4).bind(2.0) == pytest.approx(0.5)
+        assert (p - 1).bind(5.0) == pytest.approx(4.0)
+
+    def test_unbound_float_conversion_rejected(self):
+        with pytest.raises(TypeError):
+            float(Parameter("x"))
+
+
+class TestSymbolicCircuits:
+    def test_free_parameters_collected(self):
+        a, b = Parameter("a"), Parameter("b")
+        qc = QuantumCircuit(2).rx(a, 0).rz(b, 1).rx(3 * a, 1)
+        assert free_parameters(qc) == {"a", "b"}
+
+    def test_binding_produces_numeric_circuit(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1).rx(theta, 0)
+        bound = bind_parameters(qc, {theta: math.pi})
+        assert bound.gates[0].params == (math.pi,)
+        assert not free_parameters(bound)
+
+    def test_binding_by_string_key(self):
+        qc = QuantumCircuit(1).rz(Parameter("lam"), 0)
+        bound = bind_parameters(qc, {"lam": 0.5})
+        assert bound.gates[0].params == (0.5,)
+
+    def test_expression_binding(self):
+        t = Parameter("t")
+        qc = QuantumCircuit(2).rzz(2 * t + 0.1, 0, 1)
+        bound = bind_parameters(qc, {"t": 0.45})
+        assert bound.gates[0].params[0] == pytest.approx(1.0)
+
+    def test_missing_binding_raises(self):
+        qc = QuantumCircuit(1).rx(Parameter("x"), 0)
+        with pytest.raises(KeyError):
+            bind_parameters(qc, {"y": 1.0})
+
+    def test_unitary_blocked_until_bound(self):
+        qc = QuantumCircuit(1).rx(Parameter("x"), 0)
+        with pytest.raises(TypeError):
+            qc.unitary()
+
+    def test_bound_circuit_matches_direct_construction(self):
+        theta = Parameter("theta")
+        template = QuantumCircuit(2).rx(theta, 0).cx(0, 1).rz(theta / 2, 1)
+        for value in (0.3, 1.7):
+            bound = bind_parameters(template, {"theta": value})
+            direct = QuantumCircuit(2).rx(value, 0).cx(0, 1).rz(value / 2, 1)
+            assert allclose_up_to_global_phase(bound.unitary(), direct.unitary())
+
+    def test_parameterized_gate_flag(self):
+        qc = QuantumCircuit(1).rx(Parameter("x"), 0).h(0)
+        assert qc.gates[0].is_parameterized
+        assert not qc.gates[1].is_parameterized

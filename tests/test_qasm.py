@@ -1,0 +1,78 @@
+"""OpenQASM serialisation round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, from_qasm, random_circuit, to_qasm
+from repro.linalg import allclose_up_to_global_phase
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits(self, seed):
+        qc = random_circuit(3, 25, seed=seed)
+        back = from_qasm(to_qasm(qc))
+        assert back.num_qubits == qc.num_qubits
+        assert allclose_up_to_global_phase(qc.unitary(), back.unitary())
+
+    def test_pi_fraction_rendering(self):
+        qc = QuantumCircuit(1).rz(math.pi / 2, 0).rz(-math.pi, 0).rz(3 * math.pi / 4, 0)
+        text = to_qasm(qc)
+        assert "pi/2" in text and "-pi" in text
+        back = from_qasm(text)
+        assert allclose_up_to_global_phase(qc.unitary(), back.unitary())
+
+    def test_measurements_roundtrip(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.measure_all()
+        text = to_qasm(qc)
+        assert "creg" in text and "measure" in text
+        back = from_qasm(text)
+        assert back.has_measurements()
+
+    def test_barrier_roundtrip(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        back = from_qasm(to_qasm(qc))
+        assert any(g.name == "barrier" for g in back)
+
+    def test_three_qubit_gates(self):
+        qc = QuantumCircuit(3).ccx(0, 1, 2).cswap(2, 0, 1)
+        back = from_qasm(to_qasm(qc))
+        assert allclose_up_to_global_phase(qc.unitary(), back.unitary())
+
+
+class TestParsing:
+    def test_unknown_gate_rejected(self):
+        text = 'OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n'
+        with pytest.raises(ValueError):
+            from_qasm(text)
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_comments_ignored(self):
+        text = 'OPENQASM 2.0;\nqreg q[1]; // register\nh q[0]; // hadamard\n'
+        qc = from_qasm(text)
+        assert qc.gates[0].name == "h"
+
+    def test_expression_params(self):
+        qc = from_qasm('OPENQASM 2.0;\nqreg q[1];\nrz(pi/4) q[0];\n')
+        assert qc.gates[0].params[0] == pytest.approx(math.pi / 4)
+
+    def test_malicious_param_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\nrz(__import__) q[0];\n')
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_roundtrip_property(seed):
+    qc = random_circuit(2, 12, seed=seed)
+    assert allclose_up_to_global_phase(
+        qc.unitary(), from_qasm(to_qasm(qc)).unitary()
+    )

@@ -1,0 +1,76 @@
+"""Quantum-volume protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import IdealBackend, NoiseModelBackend
+from repro.hardware.quantum_volume import (
+    HOP_THRESHOLD,
+    QVWidthResult,
+    achieved_quantum_volume,
+    heavy_output_probability,
+    heavy_outputs,
+    measure_quantum_volume,
+    qv_model_circuit,
+)
+from repro.linalg import is_unitary
+from repro.noise import get_device
+
+
+class TestModelCircuits:
+    def test_width_and_basis(self):
+        qc = qv_model_circuit(3, seed=1)
+        assert qc.num_qubits == 3
+        assert all(g.name in ("u3", "cx") for g in qc)
+
+    def test_unitary(self):
+        assert is_unitary(qv_model_circuit(2, seed=2).unitary())
+
+    def test_deterministic(self):
+        assert qv_model_circuit(2, seed=3) == qv_model_circuit(2, seed=3)
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            qv_model_circuit(1, seed=0)
+
+
+class TestHeavyOutputs:
+    def test_half_are_heavy_for_generic_dist(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(16)
+        probs /= probs.sum()
+        heavy = heavy_outputs(probs)
+        assert 4 <= len(heavy) <= 12
+
+    def test_uniform_has_no_heavy(self):
+        assert len(heavy_outputs(np.full(8, 1 / 8))) == 0
+
+    def test_ideal_backend_hop_above_threshold(self):
+        qc = qv_model_circuit(2, seed=7)
+        hop = heavy_output_probability(qc, IdealBackend())
+        assert hop > HOP_THRESHOLD
+
+
+class TestProtocol:
+    def test_ideal_passes(self):
+        results = measure_quantum_volume(
+            IdealBackend(), widths=(2,), circuits_per_width=3
+        )
+        assert results[2].passed
+        assert achieved_quantum_volume(results) == 4
+
+    def test_heavy_noise_fails(self):
+        backend = NoiseModelBackend(
+            get_device("rome").noise_model().scaled(10.0)
+        )
+        results = measure_quantum_volume(
+            backend, widths=(2,), circuits_per_width=3
+        )
+        assert not results[2].passed
+        assert achieved_quantum_volume(results) == 1
+
+    def test_width_result_stats(self):
+        r = QVWidthResult(3, hops=[0.7, 0.8])
+        assert r.mean_hop == pytest.approx(0.75)
+        assert r.passed and r.quantum_volume == 8
+        assert not QVWidthResult(3, hops=[0.5]).passed

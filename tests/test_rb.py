@@ -1,0 +1,159 @@
+"""Randomized benchmarking: the calibration loop closed."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import clifford_1q_gates, fit_rb_decay, rb_sequence, run_rb
+from repro.hardware.randomized_benchmarking import _CLIFFORD_DEFS, _clifford_unitary
+from repro.linalg import allclose_up_to_global_phase
+from repro.noise import GateError, NoiseModel
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+
+
+class TestCliffordGroup:
+    def test_twenty_four_distinct_elements(self):
+        unitaries = [_clifford_unitary(i) for i in range(24)]
+        for i in range(24):
+            for j in range(i):
+                assert not allclose_up_to_global_phase(
+                    unitaries[i], unitaries[j]
+                ), (i, j)
+
+    def test_sequences_are_short(self):
+        assert max(len(d) for d in _CLIFFORD_DEFS) <= 7
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            clifford_1q_gates(24)
+
+    def test_gate_list_matches_unitary(self):
+        from repro.circuits import QuantumCircuit
+
+        for index in (0, 5, 12, 23):
+            qc = QuantumCircuit(1)
+            qc.extend(clifford_1q_gates(index))
+            assert allclose_up_to_global_phase(
+                qc.unitary(), _clifford_unitary(index)
+            )
+
+
+class TestSequences:
+    @pytest.mark.parametrize("length", [0, 1, 7, 25])
+    def test_ideal_survival_is_one(self, length):
+        circuit = rb_sequence(length, seed=length)
+        probs = StatevectorSimulator().probabilities(circuit)
+        assert probs[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic_for_seed(self):
+        assert rb_sequence(5, seed=1) == rb_sequence(5, seed=1)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            rb_sequence(-1)
+
+
+class TestFitting:
+    def test_exact_exponential_recovered(self):
+        a, p, b = 0.5, 0.97, 0.5
+        lengths = [1, 2, 4, 8, 16, 32]
+        values = [a * p**m + b for m in lengths]
+        fa, fp, fb = fit_rb_decay(lengths, values)
+        assert fp == pytest.approx(p, abs=1e-6)
+        assert fa == pytest.approx(a, abs=1e-6)
+        assert fb == pytest.approx(b, abs=1e-6)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_rb_decay([1, 2], [0.9, 0.8])
+
+
+class TestProtocol:
+    def _backend(self, depol: float, readout=None):
+        model = NoiseModel()
+        for g in ("h", "s", "u3"):
+            model.add_gate_error(GateError(depolarizing=depol), g, None)
+        if readout is not None:
+            from repro.noise import ReadoutError
+
+            model.add_readout_error(ReadoutError(*readout), 0)
+        sim = DensityMatrixSimulator(model)
+
+        class Backend:
+            def run(self, c):
+                return sim.probabilities(c)
+
+        return Backend()
+
+    def test_recovers_injected_noise_scale(self):
+        result = run_rb(
+            self._backend(0.01), lengths=(1, 4, 8, 16, 32),
+            sequences_per_length=4,
+        )
+        # Each Clifford averages a few H/S gates; error per Clifford must
+        # land within a factor ~4 of the per-gate rate.
+        assert 0.004 < result.error_per_clifford < 0.04
+
+    def test_more_noise_faster_decay(self):
+        low = run_rb(self._backend(0.005), lengths=(1, 8, 24), sequences_per_length=3)
+        high = run_rb(self._backend(0.03), lengths=(1, 8, 24), sequences_per_length=3)
+        assert high.decay < low.decay
+
+    def test_readout_error_does_not_bias_decay(self):
+        """RB's defining property: SPAM error moves A/B, not p."""
+        clean = run_rb(
+            self._backend(0.02), lengths=(1, 6, 16, 32), sequences_per_length=4
+        )
+        spam = run_rb(
+            self._backend(0.02, readout=(0.05, 0.08)),
+            lengths=(1, 6, 16, 32),
+            sequences_per_length=4,
+        )
+        assert spam.decay == pytest.approx(clean.decay, abs=0.01)
+
+    def test_rows_render(self):
+        result = run_rb(self._backend(0.01), lengths=(1, 4, 8), sequences_per_length=2)
+        assert "error/Clifford" in result.rows()
+
+
+class TestInterleavedRB:
+    def _backend(self, base: float, x_error: float):
+        model = NoiseModel()
+        for g in ("h", "s", "u3"):
+            model.add_gate_error(GateError(depolarizing=base), g, None)
+        model.add_gate_error(GateError(depolarizing=x_error), "x", None)
+        sim = DensityMatrixSimulator(model)
+
+        class Backend:
+            def run(self, c):
+                return sim.probabilities(c)
+
+        return Backend()
+
+    def test_ideal_interleaved_survival(self):
+        from repro.circuits import Gate
+        from repro.hardware import interleaved_rb_sequence
+
+        for m in (0, 4, 12):
+            circuit = interleaved_rb_sequence(m, Gate("x", (0,)), seed=m)
+            probs = StatevectorSimulator().probabilities(circuit)
+            assert probs[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_isolates_target_gate_error(self):
+        from repro.circuits import Gate
+        from repro.hardware import run_interleaved_rb
+
+        _std, _inter, err = run_interleaved_rb(
+            self._backend(0.002, 0.02),
+            Gate("x", (0,)),
+            lengths=(1, 4, 8, 16, 32),
+            sequences_per_length=3,
+        )
+        # Injected x error is 0.02 depolarizing ~ 0.01 average error.
+        assert 0.005 < err < 0.02
+
+    def test_two_qubit_gate_rejected(self):
+        from repro.circuits import Gate
+        from repro.hardware import interleaved_rb_sequence
+
+        with pytest.raises(ValueError):
+            interleaved_rb_sequence(3, Gate("cx", (0, 1)))

@@ -1,0 +1,198 @@
+"""Layout selection and SWAP routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_circuit
+from repro.noise import get_device
+from repro.transpile import (
+    Layout,
+    connected_subsets,
+    equivalent_under_layout,
+    noise_aware_layout,
+    permute_statevector,
+    route_circuit,
+    to_basis_gates,
+    transpile,
+    trivial_layout,
+)
+
+
+class TestLayout:
+    def test_trivial(self):
+        layout = trivial_layout(4)
+        assert layout.physical_qubits == (0, 1, 2, 3)
+        assert layout.physical(2) == 2
+
+    def test_injectivity_enforced(self):
+        with pytest.raises(ValueError):
+            Layout((0, 0, 1))
+
+    def test_inverse_map(self):
+        layout = Layout((3, 1, 4))
+        assert layout.inverse_map() == {3: 0, 1: 1, 4: 2}
+
+
+class TestConnectedSubsets:
+    def test_line_graph_count(self):
+        import networkx as nx
+
+        graph = nx.path_graph(5)
+        subsets = connected_subsets(graph, 3)
+        # A path has exactly n-k+1 connected k-subsets
+        assert len(subsets) == 3
+
+    def test_all_connected(self):
+        import networkx as nx
+
+        graph = get_device("toronto").coupling_graph()
+        for subset in connected_subsets(graph, 4)[:50]:
+            assert nx.is_connected(graph.subgraph(subset))
+
+    def test_no_duplicates(self):
+        graph = get_device("ourense").coupling_graph()
+        subsets = connected_subsets(graph, 3)
+        assert len(subsets) == len(set(subsets))
+
+
+class TestNoiseAwareLayout:
+    def test_produces_connected_region(self):
+        import networkx as nx
+
+        device = get_device("toronto")
+        circuit = to_basis_gates(ghz_circuit(4))
+        layout = noise_aware_layout(circuit, device)
+        sub = device.coupling_graph().subgraph(layout.physical_qubits)
+        assert nx.is_connected(sub)
+
+    def test_picks_minimal_score_region(self):
+        from repro.transpile.layout import _subset_score
+
+        device = get_device("toronto")
+        circuit = to_basis_gates(ghz_circuit(3))
+        layout = noise_aware_layout(circuit, device)
+        chosen = _subset_score(device, layout.physical_qubits)
+        best = min(
+            _subset_score(device, s)
+            for s in connected_subsets(device.coupling_graph(), 3)
+        )
+        assert chosen == pytest.approx(best)
+
+    def test_too_wide_rejected(self):
+        device = get_device("rome")
+        with pytest.raises(ValueError):
+            noise_aware_layout(QuantumCircuit(6), device)
+
+
+class TestRouting:
+    def test_native_circuit_untouched(self):
+        device = get_device("rome")
+        qc = to_basis_gates(ghz_circuit(3))
+        routed = route_circuit(qc, device, trivial_layout(3))
+        assert routed.swap_count == 0
+
+    def test_nonadjacent_cx_inserts_swaps(self):
+        device = get_device("rome")  # line 0-1-2-3-4
+        qc = QuantumCircuit(5).cx(0, 4)
+        routed = route_circuit(qc, device, trivial_layout(5))
+        assert routed.swap_count >= 1
+        for g in routed.circuit:
+            if g.is_unitary and g.num_qubits == 2 and g.name != "swap":
+                assert device.has_edge(*g.qubits)
+
+    def test_every_two_qubit_gate_on_coupler(self):
+        device = get_device("toronto")
+        for seed in range(3):
+            qc = to_basis_gates(random_circuit(4, 15, seed=seed))
+            routed = route_circuit(qc, device, trivial_layout(4))
+            for g in routed.circuit:
+                if g.is_unitary and g.num_qubits == 2:
+                    assert device.has_edge(*g.qubits), g
+
+    def test_final_layout_tracked(self):
+        device = get_device("rome")
+        qc = QuantumCircuit(5).cx(0, 4)
+        routed = route_circuit(qc, device, trivial_layout(5))
+        finals = routed.final_layout.physical_qubits
+        assert len(set(finals)) == 5
+
+    def test_three_qubit_gate_rejected(self):
+        device = get_device("rome")
+        qc = QuantumCircuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            route_circuit(qc, device, trivial_layout(3))
+
+
+class TestPermuteStatevector:
+    def test_identity_permutation(self, rng):
+        from repro.linalg import haar_state
+
+        psi = haar_state(3, rng)
+        assert np.allclose(permute_statevector(psi, [0, 1, 2]), psi)
+
+    def test_swap_two_qubits(self):
+        psi = np.zeros(4)
+        psi[0b01] = 1.0  # qubit0 = 1
+        out = permute_statevector(psi, [1, 0])
+        assert out[0b10] == 1.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permute_statevector(np.zeros(4), [0, 0])
+
+
+class TestTranspilePipeline:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_no_device_levels(self, level):
+        qc = random_circuit(3, 20, seed=level)
+        result = transpile(qc, optimization_level=level)
+        from repro.linalg import allclose_up_to_global_phase
+
+        assert allclose_up_to_global_phase(
+            qc.unitary(), result.circuit.unitary()
+        )
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_device_equivalence(self, level, seed):
+        device = get_device("toronto")
+        qc = random_circuit(4, 15, seed=seed)
+        result = transpile(qc, device, optimization_level=level)
+        assert equivalent_under_layout(qc, result)
+
+    def test_manual_layout_respected(self):
+        device = get_device("manhattan")
+        result = transpile(
+            ghz_circuit(4), device, optimization_level=1,
+            initial_layout=[0, 1, 2, 3],
+        )
+        assert result.initial_layout.physical_qubits == (0, 1, 2, 3)
+        assert equivalent_under_layout(ghz_circuit(4), result)
+
+    def test_level3_uses_noise_aware_layout(self):
+        device = get_device("toronto")
+        result = transpile(ghz_circuit(3), device, optimization_level=3)
+        # noise-aware layout need not start at qubit 0
+        assert equivalent_under_layout(ghz_circuit(3), result)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            transpile(QuantumCircuit(2), optimization_level=7)
+
+    def test_level2_not_worse_than_level0(self):
+        qc = random_circuit(3, 25, seed=5)
+        r0 = transpile(qc, optimization_level=0)
+        r2 = transpile(qc, optimization_level=2)
+        assert r2.circuit.cnot_count <= r0.circuit.cnot_count
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_routing_equivalence_property(seed):
+    """Property: transpiling onto Ourense preserves the |0..0> action."""
+    device = get_device("ourense")
+    qc = random_circuit(3, 10, seed=seed)
+    result = transpile(qc, device, optimization_level=1)
+    assert equivalent_under_layout(qc, result)

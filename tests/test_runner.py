@@ -1,0 +1,126 @@
+"""Experiment runner plumbing: backends, marginalisation, virtual dists."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.experiments import (
+    IdealBackend,
+    NoiseModelBackend,
+    marginal_distribution,
+    run_magnetization,
+    transpiled_virtual_distribution,
+)
+from repro.hardware import FakeHardware
+from repro.noise import get_device
+from repro.sim import StatevectorSimulator
+
+
+class TestBackends:
+    def test_ideal_backend(self):
+        probs = IdealBackend().run(ghz_circuit(2))
+        assert probs[0] == pytest.approx(0.5)
+
+    def test_noise_model_backend_deterministic(self):
+        backend = NoiseModelBackend(get_device("rome").noise_model())
+        a = backend.run(ghz_circuit(3))
+        b = backend.run(ghz_circuit(3))
+        assert np.allclose(a, b)
+
+    def test_run_magnetization(self):
+        assert run_magnetization(QuantumCircuit(2), IdealBackend()) == pytest.approx(1.0)
+
+
+class TestMarginalDistribution:
+    def test_identity_marginal(self):
+        p = np.array([0.1, 0.2, 0.3, 0.4])
+        assert np.allclose(marginal_distribution(p, [0, 1]), p)
+
+    def test_drop_one_qubit(self):
+        p = np.zeros(4)
+        p[0b10] = 1.0  # qubit1 = 1
+        out = marginal_distribution(p, [1])
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_reorder(self):
+        p = np.zeros(4)
+        p[0b01] = 1.0  # qubit0 = 1
+        out = marginal_distribution(p, [1, 0])
+        assert out[0b10] == 1.0
+
+    def test_duplicate_wires_rejected(self):
+        with pytest.raises(ValueError):
+            marginal_distribution(np.ones(4) / 4, [0, 0])
+
+    def test_brute_force_agreement(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            m = int(rng.integers(2, 6))
+            probs = rng.random(2**m)
+            probs /= probs.sum()
+            k = int(rng.integers(1, m + 1))
+            wires = rng.choice(m, size=k, replace=False).tolist()
+            expected = np.zeros(2**k)
+            for i in range(probs.size):
+                j = 0
+                for t, w in enumerate(wires):
+                    j |= ((i >> w) & 1) << t
+                expected[j] += probs[i]
+            assert np.allclose(marginal_distribution(probs, wires), expected)
+
+
+class TestVirtualDistribution:
+    def test_routed_ideal_limit_matches_original(self):
+        device = get_device("toronto")
+        circuit = ghz_circuit(3)
+        probs, result = transpiled_virtual_distribution(
+            circuit, device, optimization_level=1
+        )
+        assert probs.size == 8
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_routing_with_manual_layout(self):
+        device = get_device("toronto")
+        circuit = ghz_circuit(3)
+        probs, result = transpiled_virtual_distribution(
+            circuit, device, optimization_level=1, initial_layout=[0, 1, 4]
+        )
+        assert result.initial_layout.physical_qubits == (0, 1, 4)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_hardware_factory_used(self):
+        device = get_device("rome")
+        created = []
+
+        def factory(dev, qubits):
+            hw = FakeHardware(dev, qubits, shots=1024, seed=2)
+            created.append(hw)
+            return hw
+
+        probs, _ = transpiled_virtual_distribution(
+            ghz_circuit(3), device, hardware=factory
+        )
+        assert len(created) == 1
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_ghz_marginal_shape_preserved(self):
+        """Routed + marginalised GHZ keeps the 00..0/11..1 structure."""
+        device = get_device("toronto")
+        probs, _ = transpiled_virtual_distribution(
+            ghz_circuit(3), device, optimization_level=3
+        )
+        # even under noise, the two GHZ peaks dominate
+        assert probs[0] + probs[7] > 0.6
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_marginal_preserves_mass_property(seed):
+    rng = np.random.default_rng(seed)
+    probs = rng.random(16)
+    probs /= probs.sum()
+    out = marginal_distribution(probs, [2, 0])
+    assert out.sum() == pytest.approx(1.0)
+    assert (out >= 0).all()

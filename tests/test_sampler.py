@@ -1,0 +1,65 @@
+"""Shot sampling and counts utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sim import counts_to_probabilities, sample_counts
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        probs = np.array([0.5, 0.25, 0.125, 0.125])
+        counts = sample_counts(probs, 1000, seed=1)
+        assert sum(counts.values()) == 1000
+
+    def test_bitstrings_msb_first(self):
+        probs = np.zeros(8)
+        probs[0b110] = 1.0
+        counts = sample_counts(probs, 10, seed=2)
+        assert counts == {"110": 10}
+
+    def test_deterministic_seed(self):
+        probs = np.full(4, 0.25)
+        a = sample_counts(probs, 100, seed=7)
+        b = sample_counts(probs, 100, seed=7)
+        assert a == b
+
+    def test_law_of_large_numbers(self):
+        probs = np.array([0.7, 0.3])
+        counts = sample_counts(probs, 200_000, seed=3)
+        assert counts["0"] / 200_000 == pytest.approx(0.7, abs=0.01)
+
+    def test_unnormalised_input_normalised(self):
+        counts = sample_counts(np.array([2.0, 2.0]), 100, seed=4)
+        assert sum(counts.values()) == 100
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sample_counts(np.zeros(4), 100)
+        with pytest.raises(ValueError):
+            sample_counts(np.array([1.0, 0.0]), 0)
+        with pytest.raises(ValueError):
+            sample_counts(np.ones(3), 10)
+
+    def test_generator_seed(self):
+        rng = np.random.default_rng(0)
+        sample_counts(np.full(4, 0.25), 10, seed=rng)
+
+
+class TestCountsToProbabilities:
+    def test_roundtrip(self):
+        counts = {"00": 50, "11": 50}
+        probs = counts_to_probabilities(counts)
+        assert probs[0b00] == 0.5 and probs[0b11] == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            counts_to_probabilities({})
+
+    def test_inconsistent_width_rejected(self):
+        with pytest.raises(ValueError):
+            counts_to_probabilities({"00": 1, "111": 1})
+
+    def test_explicit_width(self):
+        probs = counts_to_probabilities({"01": 4}, num_qubits=2)
+        assert probs.size == 4 and probs[1] == 1.0

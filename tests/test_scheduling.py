@@ -1,0 +1,131 @@
+"""Scheduling, delay gates and idle decoherence."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.linalg import allclose_up_to_global_phase
+from repro.noise import NoiseModel, get_device
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.transpile import (
+    asap_schedule,
+    insert_idle_delays,
+    optimize_1q_2q,
+    to_basis_gates,
+)
+
+
+class TestDelayGate:
+    def test_identity_semantics(self):
+        qc = QuantumCircuit(1).delay(500.0, 0)
+        assert np.allclose(qc.unitary(), np.eye(2))
+
+    def test_duration_contributes(self):
+        qc = QuantumCircuit(1).delay(700.0, 0)
+        assert qc.duration() == pytest.approx(700.0)
+
+    def test_survives_basis_translation(self):
+        qc = QuantumCircuit(2).h(0).delay(100.0, 1).cx(0, 1)
+        out = to_basis_gates(qc)
+        assert any(g.name == "delay" for g in out)
+
+    def test_survives_optimisation(self):
+        qc = QuantumCircuit(1).h(0).delay(100.0, 0).h(0)
+        out = optimize_1q_2q(to_basis_gates(qc))
+        # the delay blocks the h-h merge AND stays present
+        assert any(g.name == "delay" for g in out)
+        assert allclose_up_to_global_phase(qc.unitary(), out.unitary())
+
+    def test_zero_delay_dropped(self):
+        qc = QuantumCircuit(1).delay(0.0, 0)
+        assert len(optimize_1q_2q(qc)) == 0
+
+    def test_inverse_is_itself(self):
+        qc = QuantumCircuit(1).delay(42.0, 0)
+        assert qc.inverse().gates[0].name == "delay"
+
+
+class TestASAPSchedule:
+    def test_parallel_gates_same_start(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        sched = asap_schedule(qc)
+        assert sched[0].start == sched[1].start == 0.0
+
+    def test_dependencies_respected(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        sched = asap_schedule(qc)
+        assert sched[1].start == pytest.approx(sched[0].finish)
+
+    def test_custom_times(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        sched = asap_schedule(qc, {"h": 100.0})
+        assert sched[1].start == pytest.approx(100.0)
+
+
+class TestIdleDelays:
+    def test_idle_window_materialised(self):
+        # qubit 1 idles for one H (35 ns) before the CX reaches it... but
+        # both start at 0; construct genuine idling: two serial gates on
+        # qubit 0 while qubit 1 waits for the CX.
+        qc = QuantumCircuit(2).h(0).h(0).cx(0, 1)
+        out = insert_idle_delays(qc, pad_end=False)
+        delays = [g for g in out if g.name == "delay"]
+        assert len(delays) == 1
+        assert delays[0].qubits == (1,)
+        assert delays[0].params[0] == pytest.approx(70.0)
+
+    def test_pad_end_aligns_all_qubits(self):
+        qc = QuantumCircuit(2).h(0).h(0)
+        out = insert_idle_delays(qc, pad_end=True)
+        delays = [g for g in out if g.name == "delay"]
+        assert any(g.qubits == (1,) for g in delays)
+
+    def test_semantics_unchanged(self):
+        qc = to_basis_gates(ghz_circuit(3))
+        out = insert_idle_delays(qc)
+        assert allclose_up_to_global_phase(qc.unitary(), out.unitary())
+
+    def test_short_windows_skipped(self):
+        qc = QuantumCircuit(2).h(0).h(0).cx(0, 1)
+        out = insert_idle_delays(qc, min_idle=1000.0, pad_end=False)
+        assert not any(g.name == "delay" for g in out)
+
+
+class TestIdleNoise:
+    def test_idle_relaxation_reduces_fidelity(self):
+        circuit = to_basis_gates(ghz_circuit(3))
+        with_delays = insert_idle_delays(circuit)
+        model = get_device("rome").noise_model()
+        ideal = StatevectorSimulator().run(circuit)
+        plain = DensityMatrixSimulator(model).run(circuit)
+        idled = DensityMatrixSimulator(model).run(with_delays)
+        assert idled.fidelity_with_pure(ideal) < plain.fidelity_with_pure(ideal)
+
+    def test_delay_without_registration_is_noiseless(self):
+        model = NoiseModel()
+        from repro.circuits import Gate
+
+        assert model.operations_for(Gate("delay", (0,), (500.0,))) == []
+
+    def test_registered_idle_produces_channel(self):
+        model = NoiseModel()
+        model.set_idle_relaxation(0, 50e3, 60e3)
+        from repro.circuits import Gate
+
+        ops = model.operations_for(Gate("delay", (0,), (500.0,)))
+        assert len(ops) == 1
+        channel, qubits = ops[0]
+        assert qubits == (0,)
+        assert channel.is_trace_preserving()
+
+    def test_invalid_relaxation_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel().set_idle_relaxation(0, -1.0, 5.0)
+
+    def test_idle_copied(self):
+        model = NoiseModel()
+        model.set_idle_relaxation(0, 50e3, 60e3)
+        clone = model.copy()
+        from repro.circuits import Gate
+
+        assert clone.operations_for(Gate("delay", (0,), (100.0,)))

@@ -1,0 +1,106 @@
+"""Circuit-selection strategies (the paper's Observation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ghz_circuit
+from repro.experiments import IdealBackend, NoiseModelBackend
+from repro.metrics.selection import (
+    evaluate_strategies,
+    hs_threshold_strategy,
+    minimal_hs_strategy,
+    noise_aware_strategy,
+    oracle_strategy,
+    predicted_total_error,
+    shortest_strategy,
+    standard_strategies,
+)
+from repro.noise import get_device
+from repro.sim import average_magnetization
+from repro.synthesis import ApproximateCircuit, ApproximateCircuitSet
+from repro.synthesis import generate_approximate_circuits
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return generate_approximate_circuits(
+        ghz_circuit(3).unitary(),
+        max_hs=float("inf"),
+        seed=42,
+        synthesizer_options={"max_cnots": 4, "max_nodes": 20},
+    )
+
+
+class TestBasicStrategies:
+    def test_minimal_hs_picks_lowest_distance(self, pool):
+        pick = minimal_hs_strategy().select(pool)
+        assert pick.hs_distance == min(c.hs_distance for c in pool)
+
+    def test_shortest_picks_fewest_cnots(self, pool):
+        pick = shortest_strategy().select(pool)
+        assert pick.cnot_count == min(c.cnot_count for c in pool)
+
+    def test_threshold_respects_budget(self, pool):
+        pick = hs_threshold_strategy(0.5).select(pool)
+        assert pick.hs_distance <= 0.5
+
+    def test_threshold_falls_back_when_unreachable(self, pool):
+        # With an impossible threshold the strategy degrades to minimal HS.
+        strategy = hs_threshold_strategy(1e-30)
+        pick = strategy.select(pool)
+        assert pick.hs_distance == pool.minimal_hs().hs_distance
+
+
+class TestNoiseAware:
+    def test_prediction_monotone_in_depth_for_same_hs(self):
+        from repro.circuits import QuantumCircuit
+
+        shallow = ApproximateCircuit(
+            QuantumCircuit(2).cx(0, 1), hs_distance=0.1, cnot_count=1
+        )
+        deep_qc = QuantumCircuit(2)
+        for _ in range(10):
+            deep_qc.cx(0, 1)
+        deep = ApproximateCircuit(deep_qc, hs_distance=0.1, cnot_count=10)
+        assert predicted_total_error(shallow, 0.05) < predicted_total_error(
+            deep, 0.05
+        )
+
+    def test_high_noise_prefers_shallower(self, pool):
+        low = noise_aware_strategy(0.001).select(pool)
+        high = noise_aware_strategy(0.3).select(pool)
+        assert high.cnot_count <= low.cnot_count
+
+    def test_zero_noise_prefers_exactness(self, pool):
+        pick = noise_aware_strategy(0.0, sq_error=0.0).select(pool)
+        assert pick.hs_distance == pytest.approx(
+            pool.minimal_hs().hs_distance, abs=1e-9
+        )
+
+
+class TestEvaluation:
+    def test_oracle_is_lower_bound(self, pool):
+        backend = NoiseModelBackend(
+            get_device("rome").noise_model().with_cnot_depolarizing(0.15)
+        )
+        ideal = average_magnetization(IdealBackend().run(ghz_circuit(3)))
+
+        def error_of(probs):
+            return abs(average_magnetization(probs) - ideal)
+
+        table = evaluate_strategies(
+            pool, standard_strategies(0.15), backend, error_of
+        )
+        oracle_error = table["oracle"]["error"]
+        for name, row in table.items():
+            assert row["error"] >= oracle_error - 1e-12, name
+
+    def test_oracle_strategy_callable(self, pool):
+        backend = IdealBackend()
+        strategy = oracle_strategy(backend, lambda probs: -probs[0])
+        pick = strategy.select(pool)
+        assert pick in list(pool)
+
+    def test_standard_strategy_names_unique(self):
+        names = [s.name for s in standard_strategies(0.1)]
+        assert len(names) == len(set(names))

@@ -1,0 +1,98 @@
+"""Stabilizer (CHP) simulator: cross-validation and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.metrics import total_variation_distance
+from repro.sim import (
+    CLIFFORD_GATES,
+    StabilizerSimulator,
+    StatevectorSimulator,
+    counts_to_probabilities,
+)
+
+
+def _random_clifford_circuit(num_qubits: int, depth: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    one_q = ["h", "s", "sdg", "x", "y", "z", "sx"]
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < 0.35:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            getattr(qc, ["cx", "cz", "swap"][rng.integers(3)])(int(a), int(b))
+        else:
+            getattr(qc, one_q[rng.integers(len(one_q))])(int(rng.integers(num_qubits)))
+    return qc
+
+
+class TestBasics:
+    def test_ghz_counts(self):
+        counts = StabilizerSimulator(seed=1).sample(ghz_circuit(3), shots=2000)
+        assert set(counts) == {"000", "111"}
+        assert abs(counts["000"] - 1000) < 150
+
+    def test_deterministic_measurement(self):
+        state = StabilizerSimulator().run(QuantumCircuit(2).x(1))
+        assert state.expectation_z(0) == 1.0
+        assert state.expectation_z(1) == -1.0
+
+    def test_random_outcome_flagged(self):
+        state = StabilizerSimulator().run(QuantumCircuit(1).h(0))
+        assert state.expectation_z(0) == 0.0
+
+    def test_non_clifford_rejected(self):
+        qc = QuantumCircuit(1).t(0)
+        with pytest.raises(ValueError):
+            StabilizerSimulator().run(qc)
+
+    def test_clifford_gate_list(self):
+        assert "cx" in CLIFFORD_GATES and "t" not in CLIFFORD_GATES
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError):
+            StabilizerSimulator().sample(ghz_circuit(2), shots=0)
+
+    def test_measurement_collapse_consistent(self):
+        # Measuring both GHZ qubits must give correlated outcomes.
+        rng = np.random.default_rng(5)
+        base = StabilizerSimulator().run(ghz_circuit(2))
+        for _ in range(20):
+            state = base.copy()
+            a = state.measure(0, rng)
+            b = state.measure(1, rng)
+            assert a == b
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_statevector(self, seed):
+        qc = _random_clifford_circuit(3, 25, seed)
+        dense = StatevectorSimulator().probabilities(qc)
+        counts = StabilizerSimulator(seed=seed).sample(qc, shots=3000)
+        empirical = counts_to_probabilities(counts, 3)
+        assert total_variation_distance(dense, empirical) < 0.08
+
+    def test_deterministic_z_matches_dense(self):
+        for seed in range(4):
+            qc = _random_clifford_circuit(2, 15, seed + 50)
+            state = StabilizerSimulator().run(qc)
+            dense = StatevectorSimulator().run(qc)
+            for q in range(2):
+                expected = dense.expectation_z(q)
+                got = state.expectation_z(q)
+                if abs(expected) > 1 - 1e-9:  # deterministic case
+                    assert got == pytest.approx(expected, abs=1e-9)
+                else:
+                    assert got == 0.0 or abs(expected) < 1 - 1e-9
+
+
+class TestScaling:
+    def test_wide_ghz(self):
+        n = 60
+        qc = QuantumCircuit(n)
+        qc.h(0)
+        for q in range(n - 1):
+            qc.cx(q, q + 1)
+        counts = StabilizerSimulator(seed=3).sample(qc, shots=50)
+        assert set(counts) <= {"0" * n, "1" * n}

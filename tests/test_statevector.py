@@ -1,0 +1,86 @@
+"""Statevector simulator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit, qft_circuit, random_circuit
+from repro.circuits import basis_state_preparation
+from repro.sim import Statevector, StatevectorSimulator
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        sv = Statevector.zero_state(3)
+        assert sv.probabilities()[0] == 1.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Statevector(np.zeros(3))
+
+    def test_probability_of_bitstring(self):
+        sv = StatevectorSimulator().run(ghz_circuit(3))
+        assert sv.probability_of("000") == pytest.approx(0.5)
+        assert sv.probability_of("111") == pytest.approx(0.5)
+        assert sv.probability_of("010") == pytest.approx(0.0)
+
+    def test_bitstring_width_validation(self):
+        sv = Statevector.zero_state(2)
+        with pytest.raises(ValueError):
+            sv.probability_of("000")
+
+    def test_expectation_z(self):
+        sv = Statevector.zero_state(2)
+        assert sv.expectation_z(0) == pytest.approx(1.0)
+        flipped = StatevectorSimulator().run(QuantumCircuit(2).x(0))
+        assert flipped.expectation_z(0) == pytest.approx(-1.0)
+        assert flipped.expectation_z(1) == pytest.approx(1.0)
+
+    def test_fidelity(self):
+        a = Statevector.zero_state(2)
+        b = StatevectorSimulator().run(QuantumCircuit(2).h(0))
+        assert a.fidelity(a) == pytest.approx(1.0)
+        assert a.fidelity(b) == pytest.approx(0.5)
+
+
+class TestSimulator:
+    def test_h_gives_uniform(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        probs = StatevectorSimulator().probabilities(qc)
+        assert np.allclose(probs, 0.25)
+
+    def test_prepares_requested_basis_state(self):
+        qc = basis_state_preparation(3, "101")
+        probs = StatevectorSimulator().probabilities(qc)
+        assert probs[0b101] == pytest.approx(1.0)
+
+    def test_initial_state_forwarding(self):
+        init = StatevectorSimulator().run(QuantumCircuit(2).x(0))
+        sv = StatevectorSimulator().run(QuantumCircuit(2).x(0), initial_state=init)
+        assert sv.probabilities()[0] == pytest.approx(1.0)
+
+    def test_initial_state_width_check(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator().run(
+                QuantumCircuit(2), initial_state=Statevector.zero_state(3)
+            )
+
+    def test_measure_and_barrier_skipped(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.barrier()
+        qc.measure_all()
+        probs = StatevectorSimulator().probabilities(qc)
+        assert np.allclose(probs, 0.5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_norm_preserved(self, seed):
+        qc = random_circuit(4, 30, seed=seed)
+        sv = StatevectorSimulator().run(qc)
+        assert np.linalg.norm(sv.data) == pytest.approx(1.0)
+
+    def test_qft_of_basis_state_is_uniform(self):
+        qc = basis_state_preparation(3, "011")
+        qc.compose(qft_circuit(3))
+        probs = StatevectorSimulator().probabilities(qc)
+        assert np.allclose(probs, 1.0 / 8.0)

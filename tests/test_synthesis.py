@@ -1,0 +1,294 @@
+"""Synthesis: objective, QSearch, QFast, compression, approximation pools."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_u3_cx_circuit
+from repro.linalg import allclose_up_to_global_phase, haar_unitary
+from repro.synthesis import (
+    ApproximateCircuitSet,
+    CircuitStructure,
+    CompressionSynthesizer,
+    HilbertSchmidtObjective,
+    MIN_HS_THRESHOLD,
+    QFastSynthesizer,
+    QSearchSynthesizer,
+    decompose_two_qubit_unitary,
+    generate_approximate_circuits,
+    hs_distance,
+    optimize_structure,
+    structure_from_circuit,
+)
+
+
+class TestHSDistance:
+    def test_zero_for_equal(self, rng):
+        u = haar_unitary(4, rng)
+        assert hs_distance(u, u) == pytest.approx(0.0, abs=1e-7)
+
+    def test_phase_invariant(self, rng):
+        u = haar_unitary(4, rng)
+        assert hs_distance(u, np.exp(0.9j) * u) == pytest.approx(0.0, abs=1e-7)
+
+    def test_symmetric(self, rng):
+        a, b = haar_unitary(4, 1), haar_unitary(4, 2)
+        assert hs_distance(a, b) == pytest.approx(hs_distance(b, a))
+
+    def test_orthogonal_processes(self):
+        # Tr(Z^+ X) = 0 -> distance 1
+        from repro.circuits.gates import gate_matrix
+
+        assert hs_distance(gate_matrix("z"), gate_matrix("x")) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        for s in range(5):
+            d = hs_distance(haar_unitary(8, s), haar_unitary(8, s + 100))
+            assert 0.0 <= d <= 1.0
+
+
+class TestCircuitStructure:
+    def test_param_count(self):
+        st = CircuitStructure(3, ((0, 1), (1, 2)))
+        assert st.num_params == 9 + 12
+        assert st.cnot_count == 2
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError):
+            CircuitStructure(2, ((0, 0),))
+        with pytest.raises(ValueError):
+            CircuitStructure(2, ((0, 5),))
+
+    def test_to_circuit_matches_unitary(self, rng):
+        st = CircuitStructure(2, ((0, 1),))
+        p = rng.uniform(-np.pi, np.pi, st.num_params)
+        assert allclose_up_to_global_phase(
+            st.unitary(p), st.to_circuit(p).unitary()
+        )
+
+    def test_extended(self):
+        st = CircuitStructure(2).extended((0, 1))
+        assert st.placements == ((0, 1),)
+
+
+class TestObjective:
+    def test_fast_matches_reference(self, rng):
+        target = haar_unitary(8, rng)
+        st = CircuitStructure(3, ((0, 1), (1, 2), (0, 2)))
+        obj = HilbertSchmidtObjective(target, st)
+        for _ in range(5):
+            p = rng.uniform(-np.pi, np.pi, st.num_params)
+            c1, g1 = obj.smooth_cost_and_grad(p)
+            c2, g2 = obj.smooth_cost_and_grad_reference(p)
+            assert abs(c1 - c2) < 1e-12
+            assert np.max(np.abs(g1 - g2)) < 1e-10
+
+    def test_gradient_finite_difference(self, rng):
+        target = haar_unitary(4, rng)
+        st = CircuitStructure(2, ((0, 1),))
+        obj = HilbertSchmidtObjective(target, st)
+        p = rng.uniform(-np.pi, np.pi, st.num_params)
+        c, g = obj.smooth_cost_and_grad(p)
+        eps = 1e-7
+        for i in range(p.size):
+            p2 = p.copy()
+            p2[i] += eps
+            fd = (obj.smooth_cost(p2) - c) / eps
+            assert abs(fd - g[i]) < 1e-4, i
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            HilbertSchmidtObjective(haar_unitary(8, rng), CircuitStructure(2))
+
+    def test_optimize_reaches_representable_target(self, rng):
+        st = CircuitStructure(2, ((0, 1),))
+        truth = rng.uniform(-np.pi, np.pi, st.num_params)
+        target = st.unitary(truth)
+        res = optimize_structure(target, st, restarts=4, rng=rng)
+        assert res.cost < 1e-6
+
+
+class TestQSearch:
+    def test_ghz2_one_cnot(self):
+        res = QSearchSynthesizer(seed=0).synthesize(ghz_circuit(2).unitary())
+        assert res.success and res.best.cnot_count == 1
+
+    def test_ghz3_two_cnots(self):
+        res = QSearchSynthesizer(seed=0, max_cnots=4).synthesize(
+            ghz_circuit(3).unitary()
+        )
+        assert res.success and res.best.cnot_count == 2
+
+    def test_identity_zero_cnots(self):
+        res = QSearchSynthesizer(seed=0).synthesize(np.eye(4))
+        assert res.success and res.best.cnot_count == 0
+
+    def test_intermediates_recorded(self):
+        res = QSearchSynthesizer(seed=0, max_cnots=4).synthesize(
+            ghz_circuit(3).unitary()
+        )
+        assert len(res.intermediates) == res.nodes_explored
+        assert any(r.cnot_count == 0 for r in res.intermediates)
+
+    def test_progress_callback(self):
+        seen = []
+        QSearchSynthesizer(seed=0).synthesize(
+            ghz_circuit(2).unitary(), progress_callback=seen.append
+        )
+        assert len(seen) >= 2
+
+    def test_coupling_respected(self):
+        res = QSearchSynthesizer(
+            coupling=[(0, 1), (1, 2)], seed=0, max_cnots=4
+        ).synthesize(ghz_circuit(3).unitary())
+        for record in res.intermediates:
+            for edge in record.structure.placements:
+                assert edge in ((0, 1), (1, 2))
+
+    def test_synthesized_circuit_matches_target(self):
+        target = random_u3_cx_circuit(2, 2, seed=3).unitary()
+        res = QSearchSynthesizer(seed=1, max_cnots=4).synthesize(target)
+        assert res.success
+        assert allclose_up_to_global_phase(
+            target, res.circuit().unitary(), atol=1e-5
+        )
+
+    def test_bad_target_shape(self):
+        with pytest.raises(ValueError):
+            QSearchSynthesizer().synthesize(np.eye(3))
+
+    def test_bad_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            QSearchSynthesizer(coupling=[(0, 9)]).synthesize(np.eye(4))
+
+
+class TestQFast:
+    def test_ghz3(self):
+        res = QFastSynthesizer(seed=5, max_cnots=6).synthesize(
+            ghz_circuit(3).unitary()
+        )
+        assert res.success
+
+    def test_partial_solution_callback(self):
+        partials = []
+        QFastSynthesizer(
+            seed=5,
+            model_options={"partial_solution_callback": partials.append},
+        ).synthesize(ghz_circuit(3).unitary())
+        assert len(partials) >= 2
+        assert all(isinstance(c, QuantumCircuit) for c in partials)
+
+    def test_unknown_model_option_rejected(self):
+        with pytest.raises(ValueError):
+            QFastSynthesizer(model_options={"bogus": 1})
+
+    def test_respects_max_cnots(self):
+        res = QFastSynthesizer(seed=1, max_cnots=2, patience=99).synthesize(
+            haar_unitary(8, 3)
+        )
+        assert all(r.cnot_count <= 2 for r in res.intermediates)
+
+
+class TestCompression:
+    def test_structure_from_circuit_exact(self):
+        qc = random_u3_cx_circuit(3, 4, seed=9)
+        st, p = structure_from_circuit(qc)
+        assert st.cnot_count == 4
+        assert hs_distance(st.unitary(p), qc.unitary()) < 1e-6
+
+    def test_rejects_non_basis_circuit(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        with pytest.raises(ValueError):
+            structure_from_circuit(qc)
+
+    def test_compression_produces_frontier(self):
+        qc = random_u3_cx_circuit(2, 5, seed=11)
+        cs = CompressionSynthesizer(trial_drops=2, maxiter=80, seed=0)
+        res = cs.synthesize(qc.unitary(), qc)
+        counts = {r.cnot_count for r in res.intermediates}
+        assert 0 in counts and 5 in counts
+        # The undeleted encoding is exact.
+        assert min(
+            r.hs_distance for r in res.intermediates if r.cnot_count == 5
+        ) < 1e-5
+
+    def test_width_mismatch_rejected(self):
+        qc = random_u3_cx_circuit(2, 2, seed=1)
+        with pytest.raises(ValueError):
+            CompressionSynthesizer().synthesize(np.eye(8), qc)
+
+
+class TestTwoQubitDecomposition:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_haar_needs_three_cnots(self, seed):
+        u = haar_unitary(4, seed)
+        circ, k = decompose_two_qubit_unitary(u, seed=0)
+        assert k == 3
+        assert allclose_up_to_global_phase(u, circ.unitary(), atol=1e-6)
+
+    def test_cx_needs_one(self):
+        from repro.circuits.gates import gate_matrix
+
+        _circ, k = decompose_two_qubit_unitary(gate_matrix("cx"), seed=0)
+        assert k == 1
+
+    def test_local_unitary_needs_zero(self):
+        u = np.kron(haar_unitary(2, 1), haar_unitary(2, 2))
+        _circ, k = decompose_two_qubit_unitary(u, seed=0)
+        assert k == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_two_qubit_unitary(np.eye(8))
+
+
+class TestApproximationPools:
+    def test_generate_and_filter(self):
+        pool = generate_approximate_circuits(
+            ghz_circuit(3).unitary(),
+            max_hs=float("inf"),
+            seed=42,
+            use_cache=False,
+        )
+        assert len(pool) > 0
+        assert pool.minimal_hs().hs_distance < 1e-6
+        narrowed = pool.filtered(0.5)
+        assert all(c.hs_distance <= 0.5 for c in narrowed)
+
+    def test_min_threshold_enforced(self):
+        with pytest.raises(ValueError):
+            generate_approximate_circuits(np.eye(4), max_hs=0.01)
+        assert MIN_HS_THRESHOLD == 0.1
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        target = ghz_circuit(2).unitary()
+        a = generate_approximate_circuits(target, max_hs=float("inf"), seed=1)
+        b = generate_approximate_circuits(target, max_hs=float("inf"), seed=1)
+        assert len(a) == len(b)
+        assert [c.cnot_count for c in a] == [c.cnot_count for c in b]
+
+    def test_selectors(self):
+        pool = generate_approximate_circuits(
+            ghz_circuit(2).unitary(),
+            max_hs=float("inf"),
+            seed=2,
+            use_cache=False,
+        )
+        assert pool.shortest().cnot_count == min(pool.cnot_counts())
+        per_depth = pool.best_per_cnot_count()
+        for count, circ in per_depth.items():
+            assert circ.cnot_count == count
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(ValueError):
+            generate_approximate_circuits(np.eye(4), tool="magic")
+
+    def test_compress_requires_reference(self):
+        with pytest.raises(ValueError):
+            generate_approximate_circuits(np.eye(4), tool="compress")
+
+    def test_circuit_target_accepted(self):
+        pool = generate_approximate_circuits(
+            ghz_circuit(2), max_hs=float("inf"), seed=3, use_cache=False
+        )
+        assert pool.num_qubits == 2

@@ -1,0 +1,57 @@
+"""Exact TFIM dynamics and Trotter error (extension of the workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tfim import (
+    TFIMSpec,
+    exact_magnetization,
+    exact_step_unitary,
+    ideal_magnetization,
+    tfim_hamiltonian,
+    tfim_step_circuit,
+    trotter_error,
+)
+from repro.linalg import is_unitary
+
+
+class TestHamiltonian:
+    def test_term_count(self):
+        h = tfim_hamiltonian(TFIMSpec(4), t=30.0)
+        # 3 ZZ bonds + 4 X fields
+        assert len(h) == 7
+
+    def test_hermitian(self):
+        assert tfim_hamiltonian(TFIMSpec(3), t=10.0).is_hermitian()
+
+    def test_zero_field_is_classical(self):
+        spec = TFIMSpec(3, field_schedule=lambda t: 0.0)
+        h = tfim_hamiltonian(spec, t=5.0)
+        m = h.to_matrix()
+        assert np.allclose(m, np.diag(np.diagonal(m)))
+
+    def test_propagator_unitary(self):
+        assert is_unitary(exact_step_unitary(TFIMSpec(3), 5))
+
+
+class TestTrotterError:
+    def test_small_for_few_steps(self):
+        assert trotter_error(num_steps=1) < 0.02
+
+    def test_grows_with_steps(self):
+        e5 = trotter_error(num_steps=5)
+        e15 = trotter_error(num_steps=15)
+        assert e15 >= e5
+
+    def test_finer_trotterisation_reduces_error(self):
+        """Halving dt (doubling steps over the same time) shrinks error."""
+        coarse = TFIMSpec(3, dt=6.0)
+        fine = TFIMSpec(3, dt=3.0)
+        err_coarse = trotter_error(coarse, num_steps=5)
+        err_fine = trotter_error(fine, num_steps=10)
+        assert err_fine < err_coarse
+
+    def test_exact_vs_trotter_magnetization_close(self):
+        exact = exact_magnetization(num_steps=12)
+        trotter = ideal_magnetization(num_steps=12)
+        assert np.max(np.abs(exact - trotter)) < 0.05

@@ -1,0 +1,126 @@
+"""Process/state tomography: the model layer verified from outside."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import gate_matrix
+from repro.linalg import haar_state
+from repro.linalg.pauli import PauliString
+from repro.noise import (
+    GateError,
+    NoiseModel,
+    amplitude_damping_channel,
+    depolarizing_channel,
+)
+from repro.noise.channels import KrausChannel
+from repro.noise.tomography import (
+    choi_matrix,
+    process_fidelity_to_channel,
+    process_tomography,
+    state_tomography,
+)
+from repro.sim import DensityMatrixSimulator
+
+
+def _noisy_process(gate_name: str, qubits, error: float, width: int):
+    model = NoiseModel()
+    model.add_gate_error(GateError(depolarizing=error), gate_name, None)
+    sim = DensityMatrixSimulator(model)
+
+    def apply_process(prep: QuantumCircuit) -> np.ndarray:
+        circuit = prep.copy()
+        getattr(circuit, gate_name)(*qubits)
+        return sim.run(circuit).data
+
+    return apply_process
+
+
+class TestStateTomography:
+    def test_reconstructs_pure_state(self):
+        psi = haar_state(2, seed=3)
+        rho = np.outer(psi, psi.conj())
+
+        def expectation(label):
+            return float(
+                np.real(np.trace(PauliString(label).to_matrix() @ rho))
+            )
+
+        reconstructed = state_tomography(expectation, 2)
+        assert np.allclose(reconstructed, rho, atol=1e-10)
+
+    def test_reconstructs_mixed_state(self, rng):
+        a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        rho = a @ a.conj().T
+        rho /= np.trace(rho)
+
+        def expectation(label):
+            return float(
+                np.real(np.trace(PauliString(label).to_matrix() @ rho))
+            )
+
+        assert np.allclose(state_tomography(expectation, 1), rho, atol=1e-10)
+
+
+class TestProcessTomography:
+    def test_recovers_noisy_1q_gate(self):
+        apply = _noisy_process("y", (0,), 0.1, 1)
+        measured = process_tomography(apply, 1)
+        expected = KrausChannel([gate_matrix("y")]).compose(
+            depolarizing_channel(0.1)
+        )
+        assert np.allclose(measured, expected.superoperator(), atol=1e-10)
+        assert process_fidelity_to_channel(measured, expected) == pytest.approx(1.0)
+
+    def test_recovers_noisy_cx(self):
+        apply = _noisy_process("cx", (0, 1), 0.05, 2)
+        measured = process_tomography(apply, 2)
+        expected = KrausChannel([gate_matrix("cx")]).compose(
+            depolarizing_channel(0.05, 2)
+        )
+        assert np.allclose(measured, expected.superoperator(), atol=1e-9)
+
+    def test_recovers_amplitude_damping(self):
+        channel = amplitude_damping_channel(0.3)
+
+        def apply(prep: QuantumCircuit) -> np.ndarray:
+            rho = DensityMatrixSimulator().run(prep).data
+            return channel.apply(rho, (0,), 1)
+
+        measured = process_tomography(apply, 1)
+        assert np.allclose(measured, channel.superoperator(), atol=1e-10)
+
+    def test_identity_process(self):
+        def apply(prep: QuantumCircuit) -> np.ndarray:
+            return DensityMatrixSimulator().run(prep).data
+
+        measured = process_tomography(apply, 1)
+        assert np.allclose(measured, np.eye(4), atol=1e-10)
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            process_tomography(lambda prep: None, 3)
+
+
+class TestChoi:
+    def test_cptp_channel_gives_psd_choi(self):
+        for factory in (
+            lambda: depolarizing_channel(0.2),
+            lambda: amplitude_damping_channel(0.4),
+        ):
+            choi = choi_matrix(factory().superoperator())
+            eigs = np.linalg.eigvalsh((choi + choi.conj().T) / 2)
+            assert eigs.min() > -1e-10
+            assert np.trace(choi).real == pytest.approx(2.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            choi_matrix(np.eye(3))
+
+    def test_fidelity_discriminates(self):
+        depol = depolarizing_channel(0.2)
+        damp = amplitude_damping_channel(0.4)
+        same = process_fidelity_to_channel(depol.superoperator(), depol)
+        cross = process_fidelity_to_channel(damp.superoperator(), depol)
+        assert same == pytest.approx(1.0)
+        assert cross < same

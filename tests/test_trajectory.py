@@ -1,0 +1,62 @@
+"""Trajectory simulator: unravelling correctness and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.metrics import total_variation_distance
+from repro.noise import GateError, NoiseModel, get_device
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.sim.trajectory import TrajectorySimulator
+
+
+class TestNoiseless:
+    def test_single_shot_matches_statevector(self):
+        circuit = ghz_circuit(3)
+        traj = TrajectorySimulator(seed=0).run_single_shot(circuit)
+        ideal = StatevectorSimulator().run(circuit).data
+        assert np.allclose(traj, ideal)
+
+    def test_counts_shape(self):
+        counts = TrajectorySimulator(seed=1).run(ghz_circuit(2), shots=100)
+        assert sum(counts.values()) == 100
+        assert set(counts) <= {"00", "11"}
+
+
+class TestNoisy:
+    def test_unravels_density_matrix(self):
+        """Mean over trajectories converges to the density-matrix result."""
+        model = get_device("ourense").noise_model()
+        circuit = ghz_circuit(3)
+        dm = DensityMatrixSimulator(model).probabilities(circuit)
+        tj = TrajectorySimulator(model, seed=3).probabilities(circuit, shots=4000)
+        assert total_variation_distance(dm, tj) < 0.05
+
+    def test_norm_preserved_per_shot(self):
+        model = NoiseModel()
+        model.add_gate_error(GateError(depolarizing=0.3), "cx", None)
+        sim = TrajectorySimulator(model, seed=2)
+        qc = QuantumCircuit(2).h(0).cx(0, 1).cx(0, 1).cx(0, 1)
+        for _ in range(10):
+            state = sim.run_single_shot(qc)
+            assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_deterministic_with_seed(self):
+        model = get_device("rome").noise_model()
+        a = TrajectorySimulator(model, seed=9).run(ghz_circuit(2), shots=200)
+        b = TrajectorySimulator(model, seed=9).run(ghz_circuit(2), shots=200)
+        assert a == b
+
+    def test_readout_error_applied(self):
+        model = get_device("rome").noise_model()
+        qc = QuantumCircuit(2)  # identity circuit
+        counts = TrajectorySimulator(model, seed=5).run(qc, shots=3000)
+        assert counts.get("00", 0) < 3000  # readout flips some shots
+        clean = TrajectorySimulator(model, seed=5).run(
+            qc, shots=3000, with_readout_error=False
+        )
+        assert clean == {"00": 3000}
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator().run(ghz_circuit(2), shots=0)
