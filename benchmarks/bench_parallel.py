@@ -1,0 +1,121 @@
+"""Throughput benchmarks for the parallel execution layer.
+
+Not a paper figure — tracks the two perf claims of the parallel subsystem:
+
+* batched trajectory sampling vs the per-shot path (shots/sec), and
+* cold-cache ``tfim_pools`` wall-clock at 1 vs N worker processes.
+
+Run directly to (re)generate ``BENCH_parallel.json`` at the repository
+root so later changes can be compared against it::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+Under pytest the same measurements run as assertions (the batched engine
+must beat per-shot by the 5x acceptance margin).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_OUT = _ROOT / "BENCH_parallel.json"
+
+_SHOTS = 1024
+_QUBITS = 4
+
+
+def _trajectory_circuit():
+    from repro.circuits import random_circuit
+    from repro.transpile import to_basis_gates
+
+    return to_basis_gates(random_circuit(_QUBITS, 30, seed=3))
+
+
+def bench_trajectory(shots: int = _SHOTS) -> dict:
+    """Shots/sec of both trajectory methods on a 4q noisy circuit."""
+    from repro.noise import get_device
+    from repro.sim.trajectory import TrajectorySimulator
+
+    circuit = _trajectory_circuit()
+    model = get_device("ourense").noise_model(list(range(_QUBITS)))
+    result = {}
+    for method in ("per_shot", "batched"):
+        sim = TrajectorySimulator(model, seed=11, method=method)
+        sim.run(circuit, shots=4)  # warm compile/caches outside the timer
+        started = time.perf_counter()
+        sim.run(circuit, shots=shots)
+        elapsed = time.perf_counter() - started
+        result[method] = {
+            "shots": shots,
+            "seconds": round(elapsed, 4),
+            "shots_per_sec": round(shots / elapsed, 1),
+        }
+    result["batched_speedup"] = round(
+        result["per_shot"]["seconds"] / result["batched"]["seconds"], 2
+    )
+    return result
+
+
+def bench_pool_build(jobs_values=(1, 2)) -> dict:
+    """Cold-cache ``tfim_pools`` wall-clock per worker count.
+
+    ``REPRO_NO_CACHE`` keeps every build cold so the numbers compare
+    synthesis work, not disk-cache hits. On a single-core container the
+    multi-worker row records pool overhead rather than speedup — the
+    host's ``cpu_count`` is stored alongside so readers can tell.
+    """
+    from repro.experiments import get_scale, tfim_pools
+
+    scale = get_scale("smoke")
+    result = {"scale": scale.name, "cpu_count": os.cpu_count()}
+    old = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    try:
+        for jobs in jobs_values:
+            started = time.perf_counter()
+            pools = tfim_pools(3, scale=scale, jobs=jobs)
+            elapsed = time.perf_counter() - started
+            result[f"jobs={jobs}"] = {
+                "seconds": round(elapsed, 4),
+                "steps": len(pools),
+            }
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_NO_CACHE", None)
+        else:
+            os.environ["REPRO_NO_CACHE"] = old
+    return result
+
+
+def test_batched_trajectory_speedup():
+    result = bench_trajectory()
+    assert result["batched_speedup"] >= 5.0
+
+
+def test_pool_build_all_worker_counts_agree():
+    from repro.experiments import get_scale, tfim_pools
+
+    scale = get_scale("smoke")
+    serial = tfim_pools(3, scale=scale, jobs=1)
+    fanned = tfim_pools(3, scale=scale, jobs=2)
+    assert [s for s, _ in serial] == [s for s, _ in fanned]
+    for (_, a), (_, b) in zip(serial, fanned):
+        assert [c.cnot_count for c in a.circuits] == [
+            c.cnot_count for c in b.circuits
+        ]
+
+
+def main() -> None:
+    payload = {
+        "trajectory": bench_trajectory(),
+        "tfim_pools": bench_pool_build(),
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {_OUT}")
+
+
+if __name__ == "__main__":
+    main()

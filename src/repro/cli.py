@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -106,7 +107,24 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write <name>.txt result files into",
     )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        help=(
+            "worker processes for pool building and sweeps "
+            "(0 or 'auto' = all cores; default: REPRO_JOBS or 1)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        from .parallel import effective_jobs
+
+        try:
+            effective_jobs(args.jobs)
+        except ValueError as exc:
+            parser.error(str(exc))
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.target == "list":
         for name, (_driver, desc) in EXPERIMENTS.items():

@@ -31,6 +31,7 @@ from ..metrics.selection import (
     standard_strategies,
 )
 from ..noise.devices import get_device
+from ..parallel import parallel_map
 from ..sim.expectation import average_magnetization
 from ..sim.statevector import StatevectorSimulator
 from ..synthesis.objective import (
@@ -83,40 +84,58 @@ class SelectionAblation:
         return "\n".join(lines)
 
 
+def _selection_level_task(task) -> Dict[str, List[float]]:
+    """Worker: race every strategy at one CNOT-error level (picklable).
+
+    Returns ``{strategy: [pick error per step]}`` for that level.
+    """
+    level, pools, spec = task
+    ideal_sim = StatevectorSimulator()
+    backend = NoiseModelBackend(
+        get_device("ourense").noise_model().with_cnot_depolarizing(level)
+    )
+    strategies = standard_strategies(level)
+    errors: Dict[str, List[float]] = {}
+    for step, pool in pools:
+        reference = tfim_step_circuit(spec, step)
+        ideal = average_magnetization(ideal_sim.run(reference).probabilities())
+
+        def error_of(probs, ideal=ideal):
+            return abs(average_magnetization(probs) - ideal)
+
+        result = evaluate_strategies(pool, strategies, backend, error_of)
+        for name, row in result.items():
+            # The noise-aware strategy is re-parameterised per level;
+            # collapse its per-level names into one table row.
+            errors.setdefault(name.split("(")[0], []).append(row["error"])
+    return errors
+
+
 def selection_ablation(
     scale: Optional[ExperimentScale] = None,
     levels: Sequence[float] = (0.01, 0.06, 0.24),
+    *,
+    jobs: Optional[int] = None,
 ) -> SelectionAblation:
-    """Race selection strategies on the 3q TFIM pools across noise levels."""
+    """Race selection strategies on the 3q TFIM pools across noise levels.
+
+    Pools are synthesised once (itself a per-step fan-out), then the
+    independent per-level races run through
+    :func:`repro.parallel.parallel_map`.
+    """
     scale = scale or get_scale()
     spec = TFIMSpec(3)
-    pools = tfim_pools(3, scale=scale, spec=spec)
-    ideal_sim = StatevectorSimulator()
-    device = get_device("ourense")
+    pools = tfim_pools(3, scale=scale, spec=spec, jobs=jobs)
 
+    per_level = parallel_map(
+        _selection_level_task,
+        [(level, pools, spec) for level in levels],
+        jobs=jobs,
+    )
     table: Dict[str, Dict[float, List[float]]] = {}
-    for level in levels:
-        backend = NoiseModelBackend(
-            device.noise_model().with_cnot_depolarizing(level)
-        )
-        strategies = standard_strategies(level)
-        for step, pool in pools:
-            reference = tfim_step_circuit(spec, step)
-            ideal = average_magnetization(
-                ideal_sim.run(reference).probabilities()
-            )
-
-            def error_of(probs, ideal=ideal):
-                return abs(average_magnetization(probs) - ideal)
-
-            result = evaluate_strategies(pool, strategies, backend, error_of)
-            for name, row in result.items():
-                # The noise-aware strategy is re-parameterised per level;
-                # collapse its per-level names into one table row.
-                key = name.split("(")[0]
-                table.setdefault(key, {}).setdefault(level, []).append(
-                    row["error"]
-                )
+    for level, errors in zip(levels, per_level):
+        for name, values in errors.items():
+            table.setdefault(name, {})[level] = values
     collapsed = {
         name: {lvl: float(np.mean(vals)) for lvl, vals in by_level.items()}
         for name, by_level in table.items()

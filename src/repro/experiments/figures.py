@@ -30,6 +30,7 @@ from ..hardware.backend import FakeHardware
 from ..hardware.calibration import noise_report, paper_mappings
 from ..metrics.distributions import UNIFORM_NOISE_JS
 from ..noise.devices import get_device
+from ..parallel import effective_jobs, parallel_map
 from ..sim.expectation import average_magnetization
 from ..transpile.basis import to_basis_gates
 from ..transpile.passes import merge_single_qubit_gates
@@ -444,12 +445,43 @@ def fig10(scale: Optional[ExperimentScale] = None) -> TFIMFigure:
     return _sweep_figure("fig10", 0.24, scale or get_scale())
 
 
+def _sweep_figure_task(task) -> TFIMFigure:
+    """Worker: one pinned-CNOT-error TFIM experiment (picklable)."""
+    figure_id, level, scale_name = task
+    return _sweep_figure(figure_id, level, get_scale(scale_name))
+
+
 def fig11(
     scale: Optional[ExperimentScale] = None,
     levels: Sequence[float] = (0.0, 0.03, 0.06, 0.12, 0.24),
+    jobs: Optional[int] = None,
 ) -> BestDepthFigure:
-    """Best-performing circuit depth vs timestep for several error levels."""
+    """Best-performing circuit depth vs timestep for several error levels.
+
+    The per-level experiments are independent; with ``jobs``/``REPRO_JOBS``
+    above 1 the not-yet-memoised levels run in worker processes (synthesis
+    and density-matrix evaluation are deterministic, so the fan-out changes
+    wall-clock only). Results are folded back into the in-process memo so
+    fig08-10 reuse them.
+    """
     scale = scale or get_scale()
+    missing = [
+        level
+        for level in levels
+        if ("tfim-sweep", 3, level, scale.name) not in _MEMO
+    ]
+    if len(missing) > 1 and effective_jobs(jobs) > 1:
+        # Pools are shared by every level: synthesise them once here (the
+        # per-step fan-out already parallelises it) so workers hit the
+        # disk cache instead of each re-synthesising the workload.
+        tfim_pools(3, scale=scale, jobs=jobs)
+        results = parallel_map(
+            _sweep_figure_task,
+            [(f"fig11[{level:g}]", level, scale.name) for level in missing],
+            jobs=jobs,
+        )
+        for level, result in zip(missing, results):
+            _MEMO[("tfim-sweep", 3, level, scale.name)] = result
     series: Dict[float, List[int]] = {}
     steps: List[int] = []
     for level in levels:

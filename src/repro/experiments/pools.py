@@ -7,17 +7,25 @@ synthesis layer. Circuits are synthesised against *line* coupling
 (``0-1-2-...``), which makes every CNOT native on the paper's five-qubit
 devices and on the first rows of Toronto/Manhattan — the paper's
 "optimization level 1 with mappings to qubits 0, 1, 2, 3, and 4".
+
+Pool construction is embarrassingly parallel (one synthesis run per TFIM
+timestep / Grover width / Toffoli width, each with its own fixed seed), so
+the per-target loops fan out through :func:`repro.parallel.parallel_map`:
+set ``REPRO_JOBS`` (or pass ``jobs=``) to build a cold cache with several
+workers. Results are identical whatever the worker count — every target's
+synthesis seed is a pure function of the target, never of scheduling.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..apps.grover import grover_circuit
 from ..apps.tfim import TFIMSpec, tfim_step_circuit
 from ..apps.toffoli import mcx_circuit, mcx_unitary
+from ..parallel import parallel_map
 from ..transpile.basis import to_basis_gates
 from ..transpile.passes import merge_single_qubit_gates
 from ..synthesis.approximations import (
@@ -30,7 +38,9 @@ __all__ = [
     "line_coupling",
     "tfim_pools",
     "grover_pool",
+    "grover_pools",
     "toffoli_pool",
+    "toffoli_pools",
 ]
 
 
@@ -62,16 +72,35 @@ def _synth_options(scale: ExperimentScale, num_qubits: int, tool: str) -> dict:
     return options
 
 
+def _build_tfim_step(task) -> Tuple[int, ApproximateCircuitSet]:
+    """Worker: synthesise one timestep's pool (module-level for pickling)."""
+    step, spec, tool, coupling, max_hs, options = task
+    target = tfim_step_circuit(spec, step).unitary()
+    pool = generate_approximate_circuits(
+        target,
+        tool=tool,
+        coupling=coupling,
+        max_hs=max_hs,
+        seed=1000 + step,
+        synthesizer_options=dict(options),
+    )
+    return (step, pool)
+
+
 def tfim_pools(
     num_qubits: int,
     *,
     scale: Optional[ExperimentScale] = None,
     spec: Optional[TFIMSpec] = None,
     max_hs: float = float("inf"),
+    jobs: Optional[int] = None,
 ) -> List[Tuple[int, ApproximateCircuitSet]]:
     """Per-timestep approximate-circuit pools for the TFIM workload.
 
     Returns ``[(step_index, pool), ...]`` over the scale's timesteps.
+    Timesteps synthesise in parallel when ``jobs`` / ``REPRO_JOBS`` allows;
+    each step keeps its fixed seed (``1000 + step``), so the result is
+    independent of the worker count.
     """
     scale = scale or get_scale()
     spec = spec or TFIMSpec(num_qubits)
@@ -80,19 +109,10 @@ def tfim_pools(
     tool = _tool_for_width(num_qubits)
     coupling = line_coupling(num_qubits)
     options = _synth_options(scale, num_qubits, tool)
-    out = []
-    for step in scale.steps():
-        target = tfim_step_circuit(spec, step).unitary()
-        pool = generate_approximate_circuits(
-            target,
-            tool=tool,
-            coupling=coupling,
-            max_hs=max_hs,
-            seed=1000 + step,
-            synthesizer_options=dict(options),
-        )
-        out.append((step, pool))
-    return out
+    tasks = [
+        (step, spec, tool, coupling, max_hs, options) for step in scale.steps()
+    ]
+    return parallel_map(_build_tfim_step, tasks, jobs=jobs)
 
 
 def grover_pool(
@@ -150,3 +170,53 @@ def toffoli_pool(
         synthesizer_options=options,
         reference=reference,
     )
+
+
+# ---------------------------------------------------------------------------
+# Per-width fan-out (one synthesis task per workload width)
+# ---------------------------------------------------------------------------
+
+def _build_grover_pool(task) -> Tuple[int, ApproximateCircuitSet]:
+    num_qubits, marked, scale, max_hs = task
+    return (
+        num_qubits,
+        grover_pool(num_qubits, marked, scale=scale, max_hs=max_hs),
+    )
+
+
+def grover_pools(
+    widths: Iterable[int],
+    marked: Optional[str] = None,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    max_hs: float = float("inf"),
+    jobs: Optional[int] = None,
+) -> List[Tuple[int, ApproximateCircuitSet]]:
+    """Grover pools for several widths, ``[(num_qubits, pool), ...]``.
+
+    ``marked=None`` marks the all-ones state at each width.
+    """
+    scale = scale or get_scale()
+    tasks = [
+        (w, marked if marked is not None else "1" * w, scale, max_hs)
+        for w in widths
+    ]
+    return parallel_map(_build_grover_pool, tasks, jobs=jobs)
+
+
+def _build_toffoli_pool(task) -> Tuple[int, ApproximateCircuitSet]:
+    num_controls, scale, max_hs = task
+    return (num_controls, toffoli_pool(num_controls, scale=scale, max_hs=max_hs))
+
+
+def toffoli_pools(
+    control_counts: Iterable[int],
+    *,
+    scale: Optional[ExperimentScale] = None,
+    max_hs: float = float("inf"),
+    jobs: Optional[int] = None,
+) -> List[Tuple[int, ApproximateCircuitSet]]:
+    """Toffoli pools for several widths, ``[(num_controls, pool), ...]``."""
+    scale = scale or get_scale()
+    tasks = [(k, scale, max_hs) for k in control_counts]
+    return parallel_map(_build_toffoli_pool, tasks, jobs=jobs)

@@ -14,6 +14,7 @@ from ..noise.model import NoiseModel
 from ..sim.density_matrix import DensityMatrixSimulator
 from ..sim.expectation import average_magnetization
 from ..sim.statevector import StatevectorSimulator
+from ..sim.trajectory import TrajectorySimulator
 from ..transpile.layout import Layout
 from ..transpile.transpiler import TranspileResult, transpile
 
@@ -21,6 +22,7 @@ __all__ = [
     "Backend",
     "IdealBackend",
     "NoiseModelBackend",
+    "TrajectoryBackend",
     "marginal_distribution",
     "transpiled_virtual_distribution",
     "run_magnetization",
@@ -62,6 +64,44 @@ class NoiseModelBackend:
 
     def run(self, circuit: QuantumCircuit) -> np.ndarray:
         return self._sim.probabilities(circuit.without_measurements())
+
+
+class TrajectoryBackend:
+    """Shot-based noisy execution via the batched trajectory engine.
+
+    Complements :class:`NoiseModelBackend`: instead of the exact
+    (shot-noise-free) density-matrix distribution it returns an empirical
+    ``shots``-sample estimate, the way hardware counts behave, at
+    ``2^n`` memory instead of ``4^n``. Prefer it for wider circuits, or
+    when shot noise is part of what an experiment studies.
+
+    Deterministic per circuit: each ``run`` re-seeds a fresh simulator, so
+    a given ``(circuit, seed, shots)`` always yields the same distribution
+    independent of evaluation order.
+    """
+
+    def __init__(
+        self,
+        noise_model: NoiseModel,
+        *,
+        shots: int = 4096,
+        seed: int = 0,
+        name: Optional[str] = None,
+        method: str = "batched",
+    ) -> None:
+        self.noise_model = noise_model
+        self.shots = shots
+        self.seed = seed
+        self.method = method
+        self.name = name or f"{noise_model.name}_traj"
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        sim = TrajectorySimulator(
+            self.noise_model, seed=self.seed, method=self.method
+        )
+        return sim.probabilities(
+            circuit.without_measurements(), shots=self.shots
+        )
 
 
 def marginal_distribution(

@@ -21,7 +21,7 @@ from .devices import (
     available_devices,
     TABLE1_CNOT_ERRORS,
 )
-from .sweep import cnot_error_sweep, PAPER_SWEEP_LEVELS
+from .sweep import cnot_error_sweep, sweep_map, PAPER_SWEEP_LEVELS
 from .tomography import (
     state_tomography,
     process_tomography,
@@ -55,6 +55,7 @@ __all__ = [
     "available_devices",
     "TABLE1_CNOT_ERRORS",
     "cnot_error_sweep",
+    "sweep_map",
     "PAPER_SWEEP_LEVELS",
     "invert_readout",
     "mitigate_readout",

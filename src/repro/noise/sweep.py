@@ -9,12 +9,13 @@ readout) keeps its calibrated value.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..parallel import parallel_map
 from .devices import DeviceSnapshot, get_device
 from .model import NoiseModel
 
-__all__ = ["cnot_error_sweep", "PAPER_SWEEP_LEVELS"]
+__all__ = ["cnot_error_sweep", "sweep_map", "PAPER_SWEEP_LEVELS"]
 
 #: The CNOT error levels the paper's Figures 8-11 report.
 PAPER_SWEEP_LEVELS = (0.0, 0.03, 0.06, 0.12, 0.24)
@@ -47,3 +48,32 @@ def cnot_error_sweep(
             raise ValueError(f"CNOT error level {level} outside [0, 1]")
         models.append(base.with_cnot_depolarizing(level))
     return models
+
+
+def _sweep_eval(task):
+    fn, device_name, level, qubits = task
+    (model,) = cnot_error_sweep(device_name, [level], qubits=qubits)
+    return fn(level, model)
+
+
+def sweep_map(
+    fn: Callable[[float, NoiseModel], object],
+    device: str = "ourense",
+    levels: Iterable[float] = PAPER_SWEEP_LEVELS,
+    *,
+    qubits: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
+) -> List[object]:
+    """Evaluate ``fn(level, noise_model)`` per sweep level, fanned out over
+    worker processes.
+
+    The sweep levels are independent workloads (the paper re-runs the same
+    pools under each), so this is the natural fan-out axis for §6.2-style
+    studies. ``fn`` must be a module-level (picklable) callable; each
+    worker rebuilds its pinned-CNOT model locally so only the results
+    travel between processes. Results are in ``levels`` order regardless
+    of the worker count.
+    """
+    device_name = device if isinstance(device, str) else device.name
+    tasks = [(fn, device_name, float(level), qubits) for level in levels]
+    return parallel_map(_sweep_eval, tasks, jobs=jobs)

@@ -1,0 +1,9 @@
+"""Parallel execution layer: process-pool fan-out with deterministic seeding.
+
+See :mod:`repro.parallel.pool` for the guarantees (ordering, per-task
+seeding via ``SeedSequence.spawn``, serial fallback).
+"""
+
+from .pool import effective_jobs, parallel_map, spawn_generators
+
+__all__ = ["effective_jobs", "parallel_map", "spawn_generators"]

@@ -1,0 +1,142 @@
+"""Process-pool fan-out with deterministic per-task seeding.
+
+The pipeline is embarrassingly parallel: pools of approximate circuits are
+synthesised once per workload and re-executed under every noise setting, so
+the per-timestep / per-level / per-width loops in the experiment drivers are
+independent tasks. :func:`parallel_map` fans such loops out over a process
+pool while keeping three guarantees the experiment layer depends on:
+
+* **Determinism.** Results come back in input order, and when a ``seed`` is
+  given every task receives its own :class:`numpy.random.Generator` built
+  from ``np.random.SeedSequence(seed).spawn(len(items))`` — the stream a
+  task sees depends only on ``(seed, task index)``, never on worker count
+  or scheduling. Identical seeds therefore produce identical results
+  regardless of ``REPRO_JOBS``.
+* **Graceful degradation.** ``REPRO_JOBS=1`` (the default), a single-item
+  input, or an environment where process pools cannot start (restricted
+  sandboxes, missing semaphores) all fall back to a plain serial loop with
+  the exact same task arguments.
+* **Transparency.** Worker exceptions propagate to the caller unchanged,
+  like the serial loop's would.
+
+Workers inherit the synthesis disk cache, which
+:mod:`repro.utils.cache` makes safe under concurrent writers.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+__all__ = ["effective_jobs", "parallel_map", "spawn_generators"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Set after the first failed pool start so later calls skip the retry.
+_POOL_BROKEN = False
+
+
+def effective_jobs(jobs: Union[int, str, None] = None) -> int:
+    """Resolve the worker count: explicit argument > ``REPRO_JOBS`` > 1.
+
+    ``"auto"`` or any non-positive value means "one worker per CPU".
+    The default is serial so tests and small runs never pay pool start-up.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "1")
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text in ("", "auto"):
+            jobs = 0
+        else:
+            try:
+                jobs = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer or 'auto', got {jobs!r}"
+                ) from None
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return int(jobs)
+
+
+def spawn_generators(
+    seed: Union[int, np.random.SeedSequence, None], n: int
+) -> List[np.random.Generator]:
+    """``n`` independent generators from one root seed (stable per index)."""
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def _invoke(payload):
+    fn, item, child_seq = payload
+    if child_seq is None:
+        return fn(item)
+    return fn(item, np.random.default_rng(child_seq))
+
+
+def parallel_map(
+    fn: Callable[..., R],
+    items: Iterable[T],
+    *,
+    jobs: Union[int, str, None] = None,
+    seed: Union[int, np.random.SeedSequence, None] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, fanning out over a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A picklable (module-level) callable. Called as ``fn(item)``, or as
+        ``fn(item, rng)`` when ``seed`` is given.
+    items:
+        The task inputs; results are returned in the same order.
+    jobs:
+        Worker count; ``None`` defers to ``REPRO_JOBS`` (default 1 =
+        serial), ``"auto"``/``0`` means one worker per CPU.
+    seed:
+        Root entropy for deterministic per-task generators. Task ``i``
+        receives ``np.random.default_rng(SeedSequence(seed).spawn(n)[i])``
+        whatever the worker count or execution order.
+    chunksize:
+        Tasks per pool dispatch; raise for many small tasks.
+    """
+    items = list(items)
+    if seed is None:
+        payloads = [(fn, item, None) for item in items]
+    else:
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        children = root.spawn(len(items)) if items else []
+        payloads = [(fn, item, child) for item, child in zip(items, children)]
+    workers = min(effective_jobs(jobs), len(payloads))
+    global _POOL_BROKEN
+    if workers <= 1 or len(payloads) <= 1 or _POOL_BROKEN:
+        return [_invoke(p) for p in payloads]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(_invoke, payloads, chunksize=chunksize))
+    except (OSError, PermissionError, BrokenProcessPool, ImportError) as exc:
+        # Pool start-up (or the pool itself) failed — not a task error.
+        # Task errors are ordinary exceptions and propagate above.
+        _POOL_BROKEN = True
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_invoke(p) for p in payloads]

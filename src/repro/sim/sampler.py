@@ -41,6 +41,18 @@ def sample_counts(
     if total <= 0:
         raise ValueError("distribution has no mass")
     probs = probs / total
+    # Division can leave the renormalised vector a ULP over 1; NumPy's
+    # multinomial rejects any vector whose head (``pvals[:-1]``) sums past
+    # 1.0 exactly. Shave the residual off the largest head entry (a few
+    # iterations at most — the re-sum can round up once more) and give the
+    # last bin the exact remainder.
+    for _ in range(4):
+        head = probs[:-1].sum()
+        if head <= 1.0:
+            break
+        probs[np.argmax(probs[:-1])] -= head - 1.0
+        np.clip(probs, 0.0, None, out=probs)
+    probs[-1] = max(0.0, 1.0 - probs[:-1].sum())
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     draws = rng.multinomial(shots, probs)
     out: Counts = {}

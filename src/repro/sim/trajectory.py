@@ -10,21 +10,43 @@ while scaling to more qubits (memory ``2^n`` instead of ``4^n``).
 This is how shot-based simulators (Qiskit Aer's statevector method with
 noise) actually execute, so it doubles as a more faithful model of the
 per-shot behaviour of hardware runs.
+
+Execution model
+---------------
+Shots are evolved **batched**: the state is a ``(2**n, shots)`` array and
+every gate / Kraus-branch selection is applied to all shots in one NumPy
+call, so a 1024-shot run is NumPy-bound instead of Python-loop-bound. The
+legacy per-shot path (``method="per_shot"``) runs the same kernel one shot
+at a time and exists as the reference for both correctness tests and the
+throughput benchmark.
+
+Randomness is **per shot**: each shot gets its own child generator spawned
+from a root :class:`numpy.random.SeedSequence`, and draws exactly one
+uniform per noise operation plus one for its measurement outcome via
+inverse-CDF sampling over cumulative Kraus weights. Consequences:
+
+* batched and per-shot execution produce *identical* counts for the same
+  seed (they consume the same per-shot streams through the same kernel),
+* sharding is reproducible: ``run(c, 512)`` twice merges to exactly
+  ``run(c, 1024)`` of a freshly-seeded simulator, because shot ``i`` of
+  the second call continues the spawn numbering at 512.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..linalg.unitary import apply_matrix_to_state
-from ..noise.channels import apply_readout_errors
+from ..noise.channels import ReadoutError
 from ..noise.model import NoiseModel
-from .sampler import Counts, sample_counts
+from .sampler import Counts
 
 __all__ = ["TrajectorySimulator"]
+
+_METHODS = ("batched", "per_shot")
 
 
 class TrajectorySimulator:
@@ -35,7 +57,14 @@ class TrajectorySimulator:
     noise_model:
         Same noise models the density-matrix simulator consumes.
     seed:
-        Seeds both Kraus sampling and measurement sampling.
+        Root entropy. An ``int`` / ``None`` seeds a
+        :class:`numpy.random.SeedSequence` from which per-shot child
+        generators are spawned; an existing :class:`numpy.random.Generator`
+        is also accepted (a root sequence is derived from its stream).
+    method:
+        ``"batched"`` (default, vectorised over shots) or ``"per_shot"``
+        (reference Python loop). Both produce identical counts for the
+        same seed.
     """
 
     def __init__(
@@ -43,14 +72,25 @@ class TrajectorySimulator:
         noise_model: Optional[NoiseModel] = None,
         *,
         seed: Union[int, np.random.Generator, None] = None,
+        method: str = "batched",
     ) -> None:
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
         self.noise_model = noise_model
-        self._rng = (
-            seed
-            if isinstance(seed, np.random.Generator)
-            else np.random.default_rng(seed)
-        )
+        self.method = method
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+            # Derive a root sequence from the generator's stream so shot
+            # spawning stays deterministic for a given generator state.
+            self._root = np.random.SeedSequence(
+                int(seed.integers(0, np.iinfo(np.int64).max))
+            )
+        else:
+            self._root = np.random.SeedSequence(seed)
+            self._rng = np.random.default_rng(self._root.spawn(1)[0])
 
+    # ------------------------------------------------------------------
+    # Legacy single-trajectory API (uses the simulator-level stream)
     # ------------------------------------------------------------------
     def _apply_channel(
         self, state: np.ndarray, kraus: np.ndarray, qubits, num_qubits: int
@@ -83,34 +123,167 @@ class TrajectorySimulator:
                     state = self._apply_channel(state, channel.kraus, qubits, n)
         return state
 
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def _compile(
+        self, circuit: QuantumCircuit
+    ) -> Tuple[List[Tuple[np.ndarray, Tuple[int, ...], list]], int]:
+        """Flatten the circuit into (gate matrix, qubits, noise ops) steps.
+
+        Also returns the number of random events one shot consumes: one
+        uniform per noise operation plus one for the measurement.
+        """
+        steps = []
+        events = 0
+        for gate in circuit:
+            if gate.name in ("barrier", "measure"):
+                continue
+            ops = (
+                self.noise_model.operations_for(gate)
+                if self.noise_model is not None
+                else []
+            )
+            steps.append((gate.matrix(), gate.qubits, ops))
+            events += len(ops)
+        return steps, events + 1
+
+    def _evolve_batch(
+        self,
+        steps: Sequence[Tuple[np.ndarray, Tuple[int, ...], list]],
+        num_qubits: int,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Evolve a ``(2**n, shots)`` batch, consuming one uniform row per
+        noise operation. ``uniforms`` has shape ``(events, shots)``."""
+        shots = uniforms.shape[1]
+        state = np.zeros((2**num_qubits, shots), dtype=np.complex128)
+        state[0] = 1.0
+        event = 0
+        for matrix, qubits, ops in steps:
+            state = apply_matrix_to_state(matrix, state, qubits, num_qubits)
+            for channel, op_qubits in ops:
+                state = self._apply_channel_batch(
+                    state, channel.kraus, op_qubits, num_qubits, uniforms[event]
+                )
+                event += 1
+        return state
+
+    @staticmethod
+    def _apply_channel_batch(
+        state: np.ndarray,
+        kraus: np.ndarray,
+        qubits: Sequence[int],
+        num_qubits: int,
+        u: np.ndarray,
+    ) -> np.ndarray:
+        """Per-shot Kraus branch selection via cumulative weights.
+
+        ``state`` is ``(2**n, shots)``; ``u`` is one uniform per shot. Each
+        shot picks branch ``i`` with probability ``w_i / sum_j w_j`` where
+        ``w_i = ||K_i |psi_shot>||^2``, by inverse-CDF over the cumulative
+        weights (no per-shot normalisation needed: the target is
+        ``u * total``).
+        """
+        branches = np.stack(
+            [
+                apply_matrix_to_state(k, state, qubits, num_qubits)
+                for k in kraus
+            ]
+        )  # (k, 2**n, shots)
+        weights = np.einsum(
+            "kds,kds->ks", branches.real, branches.real
+        ) + np.einsum("kds,kds->ks", branches.imag, branches.imag)
+        cumulative = np.cumsum(weights, axis=0)  # (k, shots)
+        total = cumulative[-1]
+        if np.any(total <= 0):
+            raise RuntimeError("trajectory lost all norm (non-CPTP channel?)")
+        choice = (cumulative <= u * total).sum(axis=0)
+        np.clip(choice, 0, len(kraus) - 1, out=choice)
+        shot_index = np.arange(state.shape[1])
+        selected = branches[choice, :, shot_index].T  # (2**n, shots)
+        norms = weights[choice, shot_index]
+        return selected / np.sqrt(norms)
+
+    @staticmethod
+    def _apply_readout_batch(
+        probs: np.ndarray, errors: Sequence[Optional[ReadoutError]]
+    ) -> np.ndarray:
+        """Per-qubit confusion matrices over a ``(2**n, shots)`` batch."""
+        num_qubits = len(errors)
+        shots = probs.shape[1]
+        tensor = probs.reshape((2,) * num_qubits + (shots,))
+        for q, err in enumerate(errors):
+            if err is None:
+                continue
+            axis = num_qubits - 1 - q
+            tensor = np.tensordot(err.matrix, tensor, axes=([1], [axis]))
+            tensor = np.moveaxis(tensor, 0, axis)
+        return np.ascontiguousarray(tensor).reshape(probs.shape)
+
+    def _sample_batch(
+        self,
+        circuit: QuantumCircuit,
+        sequences: Sequence[np.random.SeedSequence],
+        with_readout_error: bool,
+    ) -> np.ndarray:
+        """Outcome index per shot, one child generator per shot."""
+        n = circuit.num_qubits
+        steps, events = self._compile(circuit)
+        shots = len(sequences)
+        uniforms = np.empty((events, shots))
+        for s, seq in enumerate(sequences):
+            uniforms[:, s] = np.random.default_rng(seq).random(events)
+        state = self._evolve_batch(steps, n, uniforms)
+        probs = state.real**2 + state.imag**2  # (2**n, shots)
+        if (
+            with_readout_error
+            and self.noise_model is not None
+            and self.noise_model.has_readout_error
+        ):
+            probs = self._apply_readout_batch(
+                probs, self.noise_model.readout_errors(n)
+            )
+        cumulative = np.cumsum(probs, axis=0)
+        outcome = (cumulative <= uniforms[-1] * cumulative[-1]).sum(axis=0)
+        return np.clip(outcome, 0, 2**n - 1)
+
     def run(
         self,
         circuit: QuantumCircuit,
         shots: int = 1024,
         *,
         with_readout_error: bool = True,
+        method: Optional[str] = None,
     ) -> Counts:
         """Execute ``shots`` trajectories and sample one outcome from each."""
         if shots <= 0:
             raise ValueError("shots must be positive")
+        method = method or self.method
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
         n = circuit.num_qubits
-        outcome_counts = np.zeros(2**n, dtype=np.int64)
-        readout = (
-            self.noise_model.readout_errors(n)
-            if (
-                with_readout_error
-                and self.noise_model is not None
-                and self.noise_model.has_readout_error
+        sequences = self._root.spawn(shots)
+        if method == "batched":
+            # Bound the (n_kraus, 2**n, shots) workspace to ~128 MB; the
+            # chunking is invisible to results because every shot owns its
+            # random stream.
+            chunk = max(1, (1 << 23) // 2**n)
+            outcomes = np.concatenate(
+                [
+                    self._sample_batch(
+                        circuit, sequences[lo : lo + chunk], with_readout_error
+                    )
+                    for lo in range(0, shots, chunk)
+                ]
             )
-            else None
-        )
-        for _ in range(shots):
-            state = self.run_single_shot(circuit)
-            probs = np.abs(state) ** 2
-            if readout is not None:
-                probs = apply_readout_errors(probs, readout)
-            probs = probs / probs.sum()
-            outcome_counts[self._rng.choice(probs.size, p=probs)] += 1
+        else:
+            outcomes = np.empty(shots, dtype=np.int64)
+            for s, seq in enumerate(sequences):
+                outcomes[s] = self._sample_batch(
+                    circuit, [seq], with_readout_error
+                )[0]
+        outcome_counts = np.bincount(outcomes, minlength=2**n)
         counts: Counts = {}
         for index in np.nonzero(outcome_counts)[0]:
             counts[format(index, f"0{n}b")] = int(outcome_counts[index])

@@ -103,9 +103,15 @@ def cancel_adjacent_cx(circuit: QuantumCircuit) -> QuantumCircuit:
                 gates[prev_idx] = None
                 gates[idx] = None
                 for q in gate.qubits:
-                    # A qubit's entry may already be gone if its most
-                    # recent gate was itself cancelled earlier this pass.
+                    # Rewind to the most recent *surviving* gate touching
+                    # this qubit; merely dropping the entry would let a
+                    # later gate cancel across intervening gates.
                     last_on_qubit.pop(q, None)
+                    for j in range(prev_idx - 1, -1, -1):
+                        g = gates[j]
+                        if g is not None and q in g.qubits:
+                            last_on_qubit[q] = j
+                            break
                 continue
         for q in gate.qubits:
             last_on_qubit[q] = idx

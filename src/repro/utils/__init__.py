@@ -1,5 +1,17 @@
 """Shared utilities: synthesis disk cache."""
 
-from .cache import cache_dir, cache_key, load_records, store_records
+from .cache import (
+    cache_dir,
+    cache_key,
+    clear_memory_cache,
+    load_records,
+    store_records,
+)
 
-__all__ = ["cache_dir", "cache_key", "load_records", "store_records"]
+__all__ = [
+    "cache_dir",
+    "cache_key",
+    "clear_memory_cache",
+    "load_records",
+    "store_records",
+]

@@ -8,60 +8,140 @@ lets every figure driver re-run instantly after the first pass.
 The cache is plain JSON (structures + parameter vectors + distances), so it
 is portable and inspectable. Set ``REPRO_CACHE_DIR`` to relocate it, or
 ``REPRO_NO_CACHE=1`` to disable.
+
+Concurrency and degradation guarantees (the parallel execution layer fans
+synthesis out over worker processes that all share this cache):
+
+* **Concurrent writers are safe.** Each write goes to a per-process,
+  per-call unique temp file followed by an atomic ``rename`` — two workers
+  storing the same key race benignly (last replace wins, readers only ever
+  see complete files).
+* **Reads never create state.** The cache directory is only created on
+  write; a missing or unreadable directory (read-only ``REPRO_CACHE_DIR``)
+  degrades to a cache miss instead of crashing.
+* **Repeated lookups are memory-served.** A small in-process LRU layer
+  sits in front of the disk so pool re-reads inside one run skip JSON
+  parsing entirely.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
+import uuid
+from collections import OrderedDict
 from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["cache_dir", "cache_key", "load_records", "store_records"]
+__all__ = [
+    "cache_dir",
+    "cache_key",
+    "load_records",
+    "store_records",
+    "clear_memory_cache",
+]
+
+#: In-process LRU of parsed records, keyed by (directory, key).
+_MEMORY: "OrderedDict[tuple, List[dict]]" = OrderedDict()
+_MEMORY_MAX = 128
 
 
-def cache_dir() -> Optional[Path]:
-    """The cache directory, or ``None`` when caching is disabled."""
+def clear_memory_cache() -> None:
+    """Drop the in-process LRU layer (the disk cache is untouched)."""
+    _MEMORY.clear()
+
+
+def cache_dir(*, create: bool = False) -> Optional[Path]:
+    """The cache directory, or ``None`` when caching is disabled.
+
+    With ``create=False`` (the read path) the directory is returned without
+    touching the filesystem, so a read-only location degrades to a miss
+    downstream instead of crashing on ``mkdir``. ``create=True`` (the write
+    path) attempts creation and returns ``None`` when it fails.
+    """
     if os.environ.get("REPRO_NO_CACHE"):
         return None
     root = os.environ.get("REPRO_CACHE_DIR")
     path = Path(root) if root else Path(__file__).resolve().parents[3] / ".repro_cache"
-    path.mkdir(parents=True, exist_ok=True)
+    if create:
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
     return path
 
 
 def cache_key(target: np.ndarray, settings: dict) -> str:
     """Stable key for a (target unitary, synthesis settings) pair."""
     digest = hashlib.sha256()
-    digest.update(np.round(np.asarray(target, dtype=np.complex128), 10).tobytes())
+    rounded = np.round(np.asarray(target, dtype=np.complex128), 10)
+    # Rounding can produce -0.0 (e.g. from -1e-15), whose byte pattern
+    # differs from +0.0 even though the values compare equal; adding
+    # complex zero normalises both signed-zero components.
+    rounded = rounded + (0.0 + 0.0j)
+    digest.update(rounded.tobytes())
     digest.update(json.dumps(settings, sort_keys=True, default=str).encode())
     return digest.hexdigest()[:32]
 
 
+def _memory_get(memory_key: tuple) -> Optional[List[dict]]:
+    if memory_key not in _MEMORY:
+        return None
+    _MEMORY.move_to_end(memory_key)
+    return copy.deepcopy(_MEMORY[memory_key])
+
+
+def _memory_put(memory_key: tuple, records: List[dict]) -> None:
+    _MEMORY[memory_key] = copy.deepcopy(records)
+    _MEMORY.move_to_end(memory_key)
+    while len(_MEMORY) > _MEMORY_MAX:
+        _MEMORY.popitem(last=False)
+
+
 def load_records(key: str) -> Optional[List[dict]]:
-    """Fetch cached synthesis records, or ``None`` on miss."""
+    """Fetch cached synthesis records, or ``None`` on miss.
+
+    Any filesystem problem (missing/unreadable directory or file, partial
+    JSON) is a miss, never an exception — the cache is best-effort.
+    """
     directory = cache_dir()
     if directory is None:
         return None
+    memory_key = (str(directory), key)
+    hit = _memory_get(memory_key)
+    if hit is not None:
+        return hit
     path = directory / f"{key}.json"
-    if not path.exists():
-        return None
     try:
         with path.open() as fh:
-            return json.load(fh)["records"]
-    except (json.JSONDecodeError, KeyError, OSError):
+            records = json.load(fh)["records"]
+    except (OSError, json.JSONDecodeError, KeyError):
         return None
+    _memory_put(memory_key, records)
+    return records
 
 
 def store_records(key: str, records: List[dict]) -> None:
-    directory = cache_dir()
+    """Persist records atomically; silently a no-op when the cache is
+    disabled or the directory cannot be written."""
+    directory = cache_dir(create=True)
     if directory is None:
         return
+    _memory_put((str(directory), key), records)
     path = directory / f"{key}.json"
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("w") as fh:
-        json.dump({"records": records}, fh)
-    tmp.replace(path)
+    # Unique per process *and* per call: plain ``path.with_suffix(".tmp")``
+    # collides across concurrent workers writing the same key.
+    tmp = directory / f"{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    try:
+        with tmp.open("w") as fh:
+            json.dump({"records": records}, fh)
+        tmp.replace(path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass

@@ -1,12 +1,35 @@
 """Synthesis disk cache and experiment scale presets."""
 
 import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.experiments import PAPER, QUICK, SMOKE, get_scale
-from repro.utils.cache import cache_dir, cache_key, load_records, store_records
+from repro.parallel import parallel_map
+from repro.utils.cache import (
+    cache_dir,
+    cache_key,
+    clear_memory_cache,
+    load_records,
+    store_records,
+)
+
+
+def _hammer_cache(task):
+    """Worker for the concurrent-writer stress test (module-level so the
+    process pool can pickle it)."""
+    directory, key, worker_id, rounds = task
+    os.environ["REPRO_CACHE_DIR"] = directory
+    records = [{"worker": worker_id, "payload": list(range(64))}]
+    for _ in range(rounds):
+        store_records(key, records)
+        clear_memory_cache()  # force the read below onto the disk path
+        loaded = load_records(key)
+        assert loaded is not None
+        assert loaded[0]["payload"] == list(range(64))
+    return worker_id
 
 
 class TestCache:
@@ -43,6 +66,66 @@ class TestCache:
         assert cache_dir() is None
         store_records("x", [])  # no-op, must not raise
         assert load_records("x") is None
+
+    def test_key_ignores_signed_zero(self):
+        """Regression: np.round maps -1e-15 to -0.0, whose byte pattern
+        differs from +0.0 — numerically identical targets must share a
+        cache entry."""
+        settings = {"tool": "qsearch"}
+        clean = np.eye(2, dtype=np.complex128)
+        dirty = clean + np.full((2, 2), -1e-15)
+        assert cache_key(dirty, settings) == cache_key(clean, settings)
+        dirty_imag = clean + np.full((2, 2), -1e-15j)
+        assert cache_key(dirty_imag, settings) == cache_key(clean, settings)
+
+    def test_read_does_not_create_directory(self, tmp_path, monkeypatch):
+        target = tmp_path / "never_created"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        assert load_records("abc") is None
+        assert not target.exists()
+
+    def test_unwritable_location_degrades(self, tmp_path, monkeypatch):
+        """A cache dir that cannot exist (path under a regular file) is a
+        miss on read and a silent no-op on write."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
+        assert load_records("abc") is None
+        store_records("abc", [{"hs": 0.1}])  # must not raise
+        assert load_records("abc") is None
+
+    def test_store_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store_records("k1", [{"hs": 0.5}])
+        assert [p.name for p in tmp_path.iterdir()] == ["k1.json"]
+
+    def test_memory_layer_serves_after_file_removal(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        records = [{"hs": 0.25}]
+        store_records("mem", records)
+        (tmp_path / "mem.json").unlink()
+        assert load_records("mem") == records  # LRU hit
+        clear_memory_cache()
+        assert load_records("mem") is None  # now a real disk miss
+
+    def test_memory_layer_returns_copies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store_records("cp", [{"params": [1.0, 2.0]}])
+        first = load_records("cp")
+        first[0]["params"].append(99.0)
+        assert load_records("cp") == [{"params": [1.0, 2.0]}]
+
+    def test_concurrent_writers(self, tmp_path, monkeypatch):
+        """Several processes hammering one key must never corrupt it or
+        leak temp files (unique tmp names + atomic replace)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        tasks = [(str(tmp_path), "contended", w, 20) for w in range(4)]
+        done = parallel_map(_hammer_cache, tasks, jobs=4)
+        assert sorted(done) == [0, 1, 2, 3]
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        payload = json.loads((tmp_path / "contended.json").read_text())
+        assert payload["records"][0]["payload"] == list(range(64))
 
 
 class TestScale:

@@ -76,6 +76,32 @@ class TestNoisyAgreement:
         assert total_variation_distance(dm, tj) < 0.09
 
 
+class TestTrajectoryEngines:
+    """Batched and per-shot trajectory execution are the same engine."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_methods_identical_counts(self, seed):
+        model = get_device("ourense").noise_model()
+        qc = random_circuit(3, 12, seed=seed)
+        batched = TrajectorySimulator(model, seed=seed, method="batched").run(
+            qc, shots=400
+        )
+        per_shot = TrajectorySimulator(
+            model, seed=seed, method="per_shot"
+        ).run(qc, shots=400)
+        assert batched == per_shot
+
+    def test_batched_unravels_density_matrix(self):
+        model = NoiseModel()
+        model.add_gate_error(GateError(depolarizing=0.1), "cx", None)
+        qc = _random_clifford(4, 18, seed=6)
+        dm = DensityMatrixSimulator(model).probabilities(qc)
+        tj = TrajectorySimulator(model, seed=17, method="batched").probabilities(
+            qc, shots=3000
+        )
+        assert total_variation_distance(dm, tj) < 0.08
+
+
 @settings(max_examples=10, deadline=None)
 @given(st.integers(0, 10_000))
 def test_dense_engines_agree_property(seed):

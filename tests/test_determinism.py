@@ -56,3 +56,28 @@ class TestSeededDeterminism:
         a = FakeHardware("manhattan", shots=512, seed=9).run(ghz_circuit(3))
         b = FakeHardware("manhattan", shots=512, seed=9).run(ghz_circuit(3))
         assert np.array_equal(a, b)
+
+    def test_trajectory_backend_independent_of_call_order(self):
+        """TrajectoryBackend reseeds per run, so a circuit's distribution
+        cannot depend on what was executed before it."""
+        from repro.circuits import ghz_circuit
+        from repro.experiments import TrajectoryBackend
+
+        model = get_device("rome").noise_model()
+        fresh = TrajectoryBackend(model, shots=256, seed=5).run(ghz_circuit(2))
+        reused = TrajectoryBackend(model, shots=256, seed=5)
+        reused.run(random_circuit(2, 8, seed=1).without_measurements())
+        assert np.array_equal(reused.run(ghz_circuit(2)), fresh)
+
+    def test_worker_count_does_not_change_results(self, monkeypatch):
+        """REPRO_JOBS is a throughput knob, never a results knob."""
+        from repro.experiments import get_scale, tfim_pools
+
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = tfim_pools(2, scale=get_scale("smoke"))
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        pooled = tfim_pools(2, scale=get_scale("smoke"))
+        for (_, a), (_, b) in zip(serial, pooled):
+            assert [(c.cnot_count, c.hs_distance) for c in a.circuits] == [
+                (c.cnot_count, c.hs_distance) for c in b.circuits
+            ]

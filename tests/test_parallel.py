@@ -1,0 +1,123 @@
+"""Process-pool fan-out: determinism, fallback, and driver integration."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scale, tfim_pools
+from repro.noise import sweep_map
+from repro.parallel import effective_jobs, parallel_map, spawn_generators
+
+
+# --- module-level workers (must be picklable for the pool path) -----------
+
+def _square(x):
+    return x * x
+
+
+def _draw(x, rng):
+    return (x, rng.random(3).tolist())
+
+
+def _boom(x):
+    raise ValueError(f"task {x} failed")
+
+
+def _sweep_probe(level, model):
+    return (level, model.name)
+
+
+class TestEffectiveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert effective_jobs() == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert effective_jobs() == 3
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert effective_jobs(2) == 2
+
+    @pytest.mark.parametrize("value", ["auto", "0", "-1"])
+    def test_auto_means_cpu_count(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        assert effective_jobs() == (os.cpu_count() or 1)
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            effective_jobs()
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(_square, range(10), jobs=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_preserves_order_pooled(self):
+        assert parallel_map(_square, range(10), jobs=3) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_draw, [], jobs=4, seed=1) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 2"):
+            parallel_map(_boom, [2], jobs=1)
+        with pytest.raises(ValueError):
+            parallel_map(_boom, [1, 2, 3], jobs=2)
+
+    def test_seeding_independent_of_worker_count(self):
+        serial = parallel_map(_draw, range(6), jobs=1, seed=42)
+        pooled = parallel_map(_draw, range(6), jobs=3, seed=42)
+        assert serial == pooled
+
+    def test_seed_changes_streams(self):
+        a = parallel_map(_draw, range(4), jobs=1, seed=1)
+        b = parallel_map(_draw, range(4), jobs=1, seed=2)
+        assert a != b
+
+    def test_tasks_get_distinct_streams(self):
+        draws = [d for _, d in parallel_map(_draw, range(5), jobs=1, seed=7)]
+        flat = [tuple(d) for d in draws]
+        assert len(set(flat)) == len(flat)
+
+
+class TestSpawnGenerators:
+    def test_stable_per_index(self):
+        a = [g.random() for g in spawn_generators(5, 4)]
+        b = [g.random() for g in spawn_generators(5, 4)]
+        assert a == b
+
+    def test_accepts_seedsequence(self):
+        root = np.random.SeedSequence(5)
+        a = [g.random() for g in spawn_generators(root, 3)]
+        b = [g.random() for g in spawn_generators(5, 3)]
+        assert a == b
+
+
+class TestDriverIntegration:
+    def test_tfim_pools_identical_across_worker_counts(self):
+        scale = get_scale("smoke")
+        serial = tfim_pools(2, scale=scale, jobs=1)
+        pooled = tfim_pools(2, scale=scale, jobs=2)
+        assert [s for s, _ in serial] == [s for s, _ in pooled]
+        for (_, a), (_, b) in zip(serial, pooled):
+            assert [c.cnot_count for c in a.circuits] == [
+                c.cnot_count for c in b.circuits
+            ]
+            assert [c.hs_distance for c in a.circuits] == [
+                c.hs_distance for c in b.circuits
+            ]
+
+    def test_sweep_map_order_and_models(self):
+        levels = (0.0, 0.06, 0.24)
+        out = sweep_map(_sweep_probe, "ourense", levels, qubits=[0, 1], jobs=2)
+        assert [level for level, _ in out] == list(levels)
+        assert all(isinstance(name, str) for _, name in out)

@@ -74,6 +74,28 @@ class TestCancelCx:
         qc.cx(0, 1)
         assert cancel_adjacent_cx(qc).cnot_count == 2
 
+    def test_cancellation_does_not_unblock_earlier_pairs(self):
+        """Regression: after cancelling a pair, the last-gate bookkeeping
+        must rewind to the previous *surviving* gate on each qubit —
+        dropping it outright let a later CX cancel against a much earlier
+        one across intervening blockers."""
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)  # A: must NOT cancel with D (B blocks it)
+        qc.h(1)      # B: blocker between A and D
+        qc.cx(0, 1)  # C1
+        qc.cx(0, 1)  # C2: cancels with C1
+        qc.cx(0, 1)  # D: with C1/C2 gone, nearest survivor on 0/1 is B/A
+        out = cancel_adjacent_cx(qc)
+        assert out.cnot_count == 2  # A and D both survive
+        assert allclose_up_to_global_phase(qc.unitary(), out.unitary())
+
+    def test_optimize_seed_8619_regression(self):
+        """The hypothesis-found circuit that exposed the unsound
+        cancellation (pair separated by surviving blockers was removed)."""
+        qc = random_circuit(3, 20, seed=8619)
+        out = optimize_1q_2q(to_basis_gates(qc))
+        assert allclose_up_to_global_phase(qc.unitary(), out.unitary())
+
 
 class TestDropTrivial:
     def test_drops_zero_rotations(self):

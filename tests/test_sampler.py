@@ -45,6 +45,26 @@ class TestSampling:
         rng = np.random.default_rng(0)
         sample_counts(np.full(4, 0.25), 10, seed=rng)
 
+    def test_head_sum_over_one_clamped(self):
+        """Regression: a renormalised vector whose head (``pvals[:-1]``)
+        sums a ULP past 1.0 made ``Generator.multinomial`` raise; the
+        sampler must clamp instead of crashing."""
+        probs = np.full(8, 1.0 / 7.0 + 1e-12)
+        probs[7] = 0.0
+        # The raw vector really does trip NumPy's validation.
+        with pytest.raises(ValueError):
+            np.random.default_rng(0).multinomial(10, probs)
+        counts = sample_counts(probs, 1000, seed=6)
+        assert sum(counts.values()) == 1000
+        assert "111" not in counts  # zero-mass outcome stays zero
+
+    def test_near_one_mass_single_outcome(self):
+        probs = np.zeros(4)
+        probs[2] = 1.0 - 1e-16
+        probs[3] = 1e-16
+        counts = sample_counts(probs, 500, seed=8)
+        assert counts.get("10", 0) >= 499
+
 
 class TestCountsToProbabilities:
     def test_roundtrip(self):

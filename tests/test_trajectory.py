@@ -60,3 +60,72 @@ class TestNoisy:
     def test_invalid_shots(self):
         with pytest.raises(ValueError):
             TrajectorySimulator().run(ghz_circuit(2), shots=0)
+
+
+class TestBatchedEngine:
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator(method="vectorised")
+        with pytest.raises(ValueError):
+            TrajectorySimulator().run(ghz_circuit(2), method="vectorised")
+
+    def test_batched_equals_per_shot_exactly(self):
+        """The two execution paths share per-shot streams and kernel, so
+        counts must be identical, not merely close."""
+        model = get_device("ourense").noise_model()
+        circuit = ghz_circuit(3)
+        batched = TrajectorySimulator(model, seed=21, method="batched").run(
+            circuit, shots=300
+        )
+        per_shot = TrajectorySimulator(model, seed=21, method="per_shot").run(
+            circuit, shots=300
+        )
+        assert batched == per_shot
+
+    def test_shard_invariance(self):
+        """run(n) twice merges to exactly run(2n): shot seeding continues
+        the SeedSequence spawn numbering across calls."""
+        model = get_device("rome").noise_model()
+        circuit = ghz_circuit(2)
+        sim = TrajectorySimulator(model, seed=13)
+        first = sim.run(circuit, shots=150)
+        second = sim.run(circuit, shots=150)
+        merged = {
+            k: first.get(k, 0) + second.get(k, 0)
+            for k in set(first) | set(second)
+        }
+        whole = TrajectorySimulator(model, seed=13).run(circuit, shots=300)
+        assert merged == whole
+
+    def test_chunking_invisible(self):
+        """Splitting a batch into arbitrary chunks must not change any
+        outcome — every shot owns its random stream."""
+        model = get_device("rome").noise_model()
+        circuit = ghz_circuit(2)
+        sim = TrajectorySimulator(model, seed=4)
+        sequences = sim._root.spawn(64)
+        whole = sim._sample_batch(circuit, sequences, True)
+        parts = np.concatenate(
+            [
+                sim._sample_batch(circuit, sequences[lo : lo + 7], True)
+                for lo in range(0, 64, 7)
+            ]
+        )
+        assert np.array_equal(whole, parts)
+
+    def test_generator_seed_accepted(self):
+        model = get_device("rome").noise_model()
+        a = TrajectorySimulator(
+            model, seed=np.random.default_rng(3)
+        ).run(ghz_circuit(2), shots=100)
+        b = TrajectorySimulator(
+            model, seed=np.random.default_rng(3)
+        ).run(ghz_circuit(2), shots=100)
+        assert a == b
+
+    def test_noiseless_batched_matches_statevector_distribution(self):
+        circuit = ghz_circuit(3)
+        probs = TrajectorySimulator(seed=8).probabilities(circuit, shots=2000)
+        ideal = StatevectorSimulator().run(circuit).probabilities()
+        assert abs(probs[0] - ideal[0]) < 0.05
+        assert probs[1:7].sum() == 0.0  # only GHZ outcomes ever sampled
