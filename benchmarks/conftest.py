@@ -16,7 +16,12 @@ import pytest
 
 os.environ.setdefault("REPRO_SCALE", "quick")
 
-_RESULTS = Path(__file__).resolve().parent.parent / "results"
+from repro.utils.cache import seed_cache  # noqa: E402
+
+_ROOT = Path(__file__).resolve().parent.parent
+seed_cache(_ROOT / "tests" / "fixtures" / "repro_cache")
+
+_RESULTS = _ROOT / "results"
 
 
 @pytest.fixture(scope="session")

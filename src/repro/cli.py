@@ -8,6 +8,20 @@ Usage::
     python -m repro all --scale quick --output results/
     python -m repro ablations
     python -m repro devices
+
+With a run store (``--store DIR`` or ``REPRO_STORE=DIR``) every experiment
+runs as a resumable campaign: units of work checkpoint into the store as
+they complete, an interrupted invocation (``--max-units`` or a crash)
+leaves a store a re-invocation resumes from, and each run records a
+provenance manifest. The store registry is inspected with::
+
+    python -m repro runs list --store DIR
+    python -m repro runs show <run_id> --store DIR
+    python -m repro runs diff <run_a> <run_b> --store DIR
+    python -m repro runs gc [--dry-run] [--force] --store DIR
+
+Exit codes: 0 success, 2 usage error, 3 campaign interrupted by the unit
+budget (the store holds the completed units; re-run to resume).
 """
 
 from __future__ import annotations
@@ -17,9 +31,9 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
-from . import experiments
+from . import __version__, experiments
 from .experiments import get_scale
 from .experiments.ablations import (
     mitigation_ablation,
@@ -29,7 +43,10 @@ from .experiments.ablations import (
     warm_start_ablation,
 )
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "ABLATIONS"]
+
+#: Exit code when a campaign stops at its ``--max-units`` budget.
+EXIT_INTERRUPTED = 3
 
 
 def _render(result) -> str:
@@ -71,16 +88,72 @@ ABLATIONS: Dict[str, Callable] = {
 }
 
 
+def _campaign_registry() -> Dict[str, Callable]:
+    """Every runnable target as ``name -> driver(scale)``."""
+    registry = {name: driver for name, (driver, _desc) in EXPERIMENTS.items()}
+    registry.update(
+        {f"ablations:{name}": driver for name, driver in ABLATIONS.items()}
+    )
+    return registry
+
+
+def _artifact_stem(name: str) -> str:
+    """Output file stem for a target (``ablations:x`` -> ``ablation_x``)."""
+    if name.startswith("ablations:"):
+        return "ablation_" + name.split(":", 1)[1]
+    return name
+
+
+def _write_outputs(output: Optional[Path], name: str, result, scale) -> None:
+    """Write ``<stem>.txt`` and ``<stem>.json`` renders of a result."""
+    if output is None:
+        return
+    from .store.serialize import dumps_payload, result_to_payload
+
+    output.mkdir(parents=True, exist_ok=True)
+    stem = _artifact_stem(name)
+    (output / f"{stem}.txt").write_text(_render(result) + "\n")
+    payload = result_to_payload(result, name=name, scale=scale.name)
+    (output / f"{stem}.json").write_text(dumps_payload(payload) + "\n")
+
+
 def _run_one(name: str, scale, output: Optional[Path]) -> str:
     driver, _desc = EXPERIMENTS[name]
     started = time.time()
     result = driver(scale)
     text = _render(result)
     elapsed = time.time() - started
-    if output is not None:
-        output.mkdir(parents=True, exist_ok=True)
-        (output / f"{name}.txt").write_text(text + "\n")
+    _write_outputs(output, name, result, scale)
     return f"{text}\n[{name} completed in {elapsed:.1f}s]"
+
+
+def _run_campaign(targets: List[str], scale, store, args) -> int:
+    """Run ``targets`` as resumable campaigns against ``store``."""
+    from .experiments.figures import clear_memo
+    from .store import CampaignRunner
+
+    runner = CampaignRunner(
+        store,
+        targets,
+        scale,
+        registry=_campaign_registry(),
+        run_id=args.run_id,
+        max_units=args.max_units,
+        reset=clear_memo,
+    )
+    results = runner.run()
+    for item in results:
+        if item.result is not None:
+            print(item.text, end="\n\n" if len(results) > 1 else "\n")
+            _write_outputs(args.output, item.name, item.result, scale)
+        print(item.summary())
+    if results and results[-1].interrupted:
+        print(
+            "campaign interrupted at the unit budget; re-run the same "
+            f"command against {store.root} to resume"
+        )
+        return EXIT_INTERRUPTED
+    return 0
 
 
 def main(argv=None) -> int:
@@ -92,8 +165,14 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
         "target",
-        help="experiment name, 'all', 'list', 'devices', or 'ablations'",
+        help=(
+            "experiment name, 'all', 'list', 'devices', 'ablations', "
+            "'campaign', or 'runs'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -105,7 +184,7 @@ def main(argv=None) -> int:
         "--output",
         type=Path,
         default=None,
-        help="directory to write <name>.txt result files into",
+        help="directory to write <name>.txt/<name>.json result files into",
     )
     parser.add_argument(
         "--jobs",
@@ -115,7 +194,30 @@ def main(argv=None) -> int:
             "(0 or 'auto' = all cores; default: REPRO_JOBS or 1)"
         ),
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help=(
+            "run-store root for checkpointing/resume and 'runs' "
+            "(default: REPRO_STORE)"
+        ),
+    )
+    parser.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help=(
+            "stop after computing this many new campaign units (exit code "
+            f"{EXIT_INTERRUPTED}); requires a store"
+        ),
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        help="explicit run id for the campaign manifest (default: generated)",
+    )
+    args, extra = parser.parse_known_args(argv)
 
     if args.jobs is not None:
         from .parallel import effective_jobs
@@ -125,6 +227,25 @@ def main(argv=None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
         os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    from .store import open_store
+
+    store = open_store(args.store)
+
+    if args.target == "runs":
+        if store is None:
+            parser.exit(
+                2, "repro runs: no store; pass --store DIR or set REPRO_STORE\n"
+            )
+        from .store.registry import runs_main
+
+        return runs_main(extra, store)
+
+    if args.target != "campaign" and extra:
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
+
+    if args.max_units is not None and store is None:
+        parser.error("--max-units requires a store (--store or REPRO_STORE)")
 
     if args.target == "list":
         for name, (_driver, desc) in EXPERIMENTS.items():
@@ -146,36 +267,69 @@ def main(argv=None) -> int:
         return 0
 
     scale = get_scale(args.scale)
+    registry = _campaign_registry()
+
+    if args.target == "campaign":
+        if store is None:
+            parser.exit(
+                2,
+                "repro campaign: no store; pass --store DIR or set "
+                "REPRO_STORE\n",
+            )
+        targets = extra or list(EXPERIMENTS)
+        unknown = [t for t in targets if t not in registry]
+        if unknown:
+            parser.error(
+                f"unknown campaign target(s): {', '.join(unknown)}; "
+                "run 'python -m repro list'"
+            )
+        return _run_campaign(targets, scale, store, args)
 
     if args.target == "ablations":
+        if store is not None:
+            return _run_campaign(
+                [f"ablations:{name}" for name in ABLATIONS], scale, store, args
+            )
         for name, driver in ABLATIONS.items():
             result = driver(scale)
-            text = _render(result)
-            print(text, end="\n\n")
-            if args.output is not None:
-                args.output.mkdir(parents=True, exist_ok=True)
-                (args.output / f"ablation_{name}.txt").write_text(text + "\n")
+            print(_render(result), end="\n\n")
+            _write_outputs(args.output, f"ablations:{name}", result, scale)
         return 0
 
     if args.target == "all":
+        if store is not None:
+            return _run_campaign(list(EXPERIMENTS), scale, store, args)
         for name in EXPERIMENTS:
             print(_run_one(name, scale, args.output), end="\n\n")
         return 0
 
     if args.target in EXPERIMENTS:
+        if store is not None:
+            return _run_campaign([args.target], scale, store, args)
         print(_run_one(args.target, scale, args.output))
         return 0
 
     if args.target.startswith("ablations:"):
         key = args.target.split(":", 1)[1]
         if key in ABLATIONS:
-            print(_render(ABLATIONS[key](scale)))
+            if store is not None:
+                return _run_campaign([args.target], scale, store, args)
+            result = ABLATIONS[key](scale)
+            print(_render(result))
+            _write_outputs(args.output, args.target, result, scale)
             return 0
 
-    parser.error(
-        f"unknown target {args.target!r}; run 'python -m repro list'"
+    valid = ", ".join(
+        ["list", "devices", "all", "ablations", "campaign", "runs"]
+        + list(EXPERIMENTS)
+        + [f"ablations:{name}" for name in ABLATIONS]
     )
-    return 2  # pragma: no cover - parser.error raises
+    parser.exit(
+        2,
+        f"{parser.prog}: error: unknown target {args.target!r}; "
+        f"valid targets: {valid}\n",
+    )
+    return 2  # pragma: no cover - parser.exit raises
 
 
 if __name__ == "__main__":  # pragma: no cover

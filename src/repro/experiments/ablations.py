@@ -33,6 +33,7 @@ from ..metrics.selection import (
 from ..noise.devices import get_device
 from ..parallel import parallel_map
 from ..sim.expectation import average_magnetization
+from ..store.campaign import checkpoint_unit
 from ..sim.statevector import StatevectorSimulator
 from ..synthesis.objective import (
     CircuitStructure,
@@ -87,28 +88,48 @@ class SelectionAblation:
 def _selection_level_task(task) -> Dict[str, List[float]]:
     """Worker: race every strategy at one CNOT-error level (picklable).
 
-    Returns ``{strategy: [pick error per step]}`` for that level.
+    Returns ``{strategy: [pick error per step]}`` for that level. Each
+    level is one campaign checkpoint unit, so interrupted ablation
+    campaigns resume level-by-level.
     """
-    level, pools, spec = task
-    ideal_sim = StatevectorSimulator()
-    backend = NoiseModelBackend(
-        get_device("ourense").noise_model().with_cnot_depolarizing(level)
+    level, pools, spec, scale_name = task
+
+    def build() -> Dict[str, List[float]]:
+        ideal_sim = StatevectorSimulator()
+        backend = NoiseModelBackend(
+            get_device("ourense").noise_model().with_cnot_depolarizing(level)
+        )
+        strategies = standard_strategies(level)
+        errors: Dict[str, List[float]] = {}
+        for step, pool in pools:
+            reference = tfim_step_circuit(spec, step)
+            ideal = average_magnetization(
+                ideal_sim.run(reference).probabilities()
+            )
+
+            def error_of(probs, ideal=ideal):
+                return abs(average_magnetization(probs) - ideal)
+
+            result = evaluate_strategies(pool, strategies, backend, error_of)
+            for name, row in result.items():
+                # The noise-aware strategy is re-parameterised per level;
+                # collapse its per-level names into one table row.
+                errors.setdefault(name.split("(")[0], []).append(
+                    float(row["error"])
+                )
+        return errors
+
+    return checkpoint_unit(
+        {
+            "kind": "ablation-selection-level",
+            "level": level,
+            "scale": scale_name,
+            "num_qubits": spec.num_qubits,
+            "device": "ourense",
+            "pool_seeds": [1000 + step for step, _ in pools],
+        },
+        build,
     )
-    strategies = standard_strategies(level)
-    errors: Dict[str, List[float]] = {}
-    for step, pool in pools:
-        reference = tfim_step_circuit(spec, step)
-        ideal = average_magnetization(ideal_sim.run(reference).probabilities())
-
-        def error_of(probs, ideal=ideal):
-            return abs(average_magnetization(probs) - ideal)
-
-        result = evaluate_strategies(pool, strategies, backend, error_of)
-        for name, row in result.items():
-            # The noise-aware strategy is re-parameterised per level;
-            # collapse its per-level names into one table row.
-            errors.setdefault(name.split("(")[0], []).append(row["error"])
-    return errors
 
 
 def selection_ablation(
@@ -129,7 +150,7 @@ def selection_ablation(
 
     per_level = parallel_map(
         _selection_level_task,
-        [(level, pools, spec) for level in levels],
+        [(level, pools, spec, scale.name) for level in levels],
         jobs=jobs,
     )
     table: Dict[str, Dict[float, List[float]]] = {}
@@ -171,6 +192,14 @@ class ObjectiveAblation:
 
 def objective_ablation(trials: int = 8, tol: float = 1e-6) -> ObjectiveAblation:
     """Optimise representable targets under both objective forms."""
+    payload = checkpoint_unit(
+        {"kind": "ablation-objective", "trials": trials, "tol": tol, "seed": 5},
+        lambda: _objective_ablation_payload(trials, tol),
+    )
+    return ObjectiveAblation(**payload)
+
+
+def _objective_ablation_payload(trials: int, tol: float) -> dict:
     rng = np.random.default_rng(5)
     structure = CircuitStructure(2, ((0, 1), (0, 1)))
     smooth_costs, sqrt_costs = [], []
@@ -204,13 +233,13 @@ def objective_ablation(trials: int = 8, tol: float = 1e-6) -> ObjectiveAblation:
             options={"maxiter": 300},
         )
         sqrt_costs.append(float(res_sqrt.fun))
-    return ObjectiveAblation(
-        smooth_success=sum(1 for c in smooth_costs if c < tol),
-        sqrt_success=sum(1 for c in sqrt_costs if c < tol),
-        trials=trials,
-        smooth_mean_cost=float(np.mean(smooth_costs)),
-        sqrt_mean_cost=float(np.mean(sqrt_costs)),
-    )
+    return {
+        "smooth_success": sum(1 for c in smooth_costs if c < tol),
+        "sqrt_success": sum(1 for c in sqrt_costs if c < tol),
+        "trials": trials,
+        "smooth_mean_cost": float(np.mean(smooth_costs)),
+        "sqrt_mean_cost": float(np.mean(sqrt_costs)),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +267,14 @@ class WarmStartAblation:
 
 def warm_start_ablation(trials: int = 4) -> WarmStartAblation:
     """Synthesise TFIM-step targets with and without warm starts."""
+    payload = checkpoint_unit(
+        {"kind": "ablation-warmstart", "trials": trials, "seeds": list(range(trials))},
+        lambda: _warm_start_payload(trials),
+    )
+    return WarmStartAblation(**payload)
+
+
+def _warm_start_payload(trials: int) -> dict:
     spec = TFIMSpec(3)
     warm_nodes, cold_nodes = [], []
     warm_ok = cold_ok = 0
@@ -281,7 +318,12 @@ def warm_start_ablation(trials: int = 4) -> WarmStartAblation:
             qs_module.optimize_structure = original
         cold_nodes.append(cold.nodes_explored)
         cold_ok += cold.success
-    return WarmStartAblation(warm_nodes, cold_nodes, warm_ok, cold_ok)
+    return {
+        "warm_nodes": [int(n) for n in warm_nodes],
+        "cold_nodes": [int(n) for n in cold_nodes],
+        "warm_success": int(warm_ok),
+        "cold_success": int(cold_ok),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +370,7 @@ def mitigation_ablation(
 
     class MitigatedBackend:
         name = "mitigated"
+        deterministic = True
 
         def run(self, circuit):
             probs = raw_backend.run(circuit)
@@ -377,6 +420,20 @@ def toffoli_suite_ablation(
 ) -> SuiteAblation:
     """Compare candidate discrimination under the two test suites."""
     scale = scale or get_scale()
+    payload = checkpoint_unit(
+        {
+            "kind": "ablation-suite",
+            "scale": scale.name,
+            "device": "manhattan",
+            "num_controls": 3,
+            "pool_seed": 3003,
+        },
+        lambda: _suite_ablation_payload(scale),
+    )
+    return SuiteAblation(**payload)
+
+
+def _suite_ablation_payload(scale: ExperimentScale) -> dict:
     pool = toffoli_pool(3, scale=scale)
     device = get_device("manhattan")
     backend = NoiseModelBackend(device.noise_model(list(range(4))))
@@ -390,14 +447,14 @@ def toffoli_suite_ablation(
     basic = toffoli_test_suite(3)
     extended = toffoli_test_suite(3, include_basis_inputs=True)
     basic_scores = [
-        toffoli_js_score(run, c.circuit, basic) for c in pool
+        float(toffoli_js_score(run, c.circuit, basic)) for c in pool
     ]
     extended_scores = [
-        toffoli_js_score(run, c.circuit, extended) for c in pool
+        float(toffoli_js_score(run, c.circuit, extended)) for c in pool
     ]
-    return SuiteAblation(
-        basic_spread=float(np.std(basic_scores)),
-        extended_spread=float(np.std(extended_scores)),
-        basic_scores=basic_scores,
-        extended_scores=extended_scores,
-    )
+    return {
+        "basic_spread": float(np.std(basic_scores)),
+        "extended_spread": float(np.std(extended_scores)),
+        "basic_scores": basic_scores,
+        "extended_scores": extended_scores,
+    }

@@ -32,6 +32,7 @@ from ..metrics.distributions import UNIFORM_NOISE_JS
 from ..noise.devices import get_device
 from ..parallel import effective_jobs, parallel_map
 from ..sim.expectation import average_magnetization
+from ..store.campaign import checkpoint_unit
 from ..transpile.basis import to_basis_gates
 from ..transpile.passes import merge_single_qubit_gates
 from .pools import grover_pool, tfim_pools, toffoli_pool
@@ -39,6 +40,8 @@ from .runner import (
     Backend,
     IdealBackend,
     NoiseModelBackend,
+    backend_config,
+    backend_is_deterministic,
     transpiled_virtual_distribution,
 )
 from .scale import ExperimentScale, get_scale
@@ -300,6 +303,35 @@ def _prepare_reference(circuit: QuantumCircuit) -> QuantumCircuit:
     return merge_single_qubit_gates(to_basis_gates(circuit))
 
 
+def _spec_config(spec: TFIMSpec) -> dict:
+    """A JSON-able identity of a TFIM spec (for checkpoint-unit keys)."""
+    schedule = spec.field_schedule
+    return {
+        "num_qubits": spec.num_qubits,
+        "j_coupling": spec.j_coupling,
+        "dt": spec.dt,
+        "schedule": getattr(schedule, "__qualname__", repr(schedule)),
+    }
+
+
+def _tfim_step_payload(spec: TFIMSpec, step: int, pool, ideal, backend) -> dict:
+    """One checkpoint unit: a timestep's reference + pool evaluation."""
+    reference = _prepare_reference(tfim_step_circuit(spec, step))
+    return {
+        "noise_free": float(average_magnetization(ideal.run(reference))),
+        "noisy_reference": float(average_magnetization(backend.run(reference))),
+        "reference_cnots": int(reference.cnot_count),
+        "points": [
+            [
+                int(c.cnot_count),
+                float(c.hs_distance),
+                float(average_magnetization(backend.run(c.circuit))),
+            ]
+            for c in pool
+        ],
+    }
+
+
 def _tfim_experiment(
     figure_id: str,
     description: str,
@@ -314,29 +346,61 @@ def _tfim_experiment(
     pools = tfim_pools(num_qubits, scale=scale, spec=spec)
     steps = [s for s, _ in pools]
 
-    noise_free = np.empty(len(steps))
-    noisy_ref = np.empty(len(steps))
-    ref_cnots: List[int] = []
-    points: List[ApproxPoint] = []
-    for i, (step, pool) in enumerate(pools):
-        reference = _prepare_reference(tfim_step_circuit(spec, step))
-        noise_free[i] = average_magnetization(ideal.run(reference))
-        noisy_ref[i] = average_magnetization(backend.run(reference))
-        ref_cnots.append(reference.cnot_count)
-        for candidate in pool:
-            value = average_magnetization(backend.run(candidate.circuit))
-            points.append(
-                ApproxPoint(step, candidate.cnot_count, candidate.hs_distance, value)
+    base_config = {
+        "workload": "tfim",
+        "num_qubits": num_qubits,
+        "device": device_name,
+        "scale": scale.name,
+        "backend": backend_config(backend),
+        "spec": _spec_config(spec),
+    }
+    if backend_is_deterministic(backend):
+        # Pure backends: one resumable checkpoint unit per sweep point.
+        payloads = [
+            checkpoint_unit(
+                {
+                    "kind": "tfim-step",
+                    "step": step,
+                    "pool_seed": 1000 + step,
+                    **base_config,
+                },
+                lambda step=step, pool=pool: _tfim_step_payload(
+                    spec, step, pool, ideal, backend
+                ),
             )
+            for step, pool in pools
+        ]
+    else:
+        # Stateful backends (shot RNG carried across runs): evaluation
+        # order is part of the result, so the whole figure is one unit.
+        config = {
+            "kind": "tfim-figure",
+            "steps": steps,
+            "pool_seeds": [1000 + s for s in steps],
+            **base_config,
+        }
+        payloads = checkpoint_unit(
+            config,
+            lambda: [
+                _tfim_step_payload(spec, step, pool, ideal, backend)
+                for step, pool in pools
+            ],
+        )
+
+    points = [
+        ApproxPoint(step, cnots, hs, value)
+        for step, payload in zip(steps, payloads)
+        for cnots, hs, value in payload["points"]
+    ]
     return TFIMFigure(
         figure_id=figure_id,
         description=description,
         device=device_name,
         num_qubits=num_qubits,
         steps=steps,
-        noise_free=noise_free,
-        noisy_reference=noisy_ref,
-        reference_cnots=ref_cnots,
+        noise_free=np.array([p["noise_free"] for p in payloads]),
+        noisy_reference=np.array([p["noisy_reference"] for p in payloads]),
+        reference_cnots=[p["reference_cnots"] for p in payloads],
         points=points,
     )
 
@@ -475,13 +539,16 @@ def fig11(
         # per-step fan-out already parallelises it) so workers hit the
         # disk cache instead of each re-synthesising the workload.
         tfim_pools(3, scale=scale, jobs=jobs)
-        results = parallel_map(
+        parallel_map(
             _sweep_figure_task,
             [(f"fig11[{level:g}]", level, scale.name) for level in missing],
             jobs=jobs,
+            # Fold each level into the in-process memo as it lands (so
+            # fig08-10 reuse it); idempotent if the pool restarts serially.
+            on_result=lambda i, result: _MEMO.__setitem__(
+                ("tfim-sweep", 3, missing[i], scale.name), result
+            ),
         )
-        for level, result in zip(missing, results):
-            _MEMO[("tfim-sweep", 3, level, scale.name)] = result
     series: Dict[float, List[int]] = {}
     steps: List[int] = []
     for level in levels:
@@ -549,44 +616,71 @@ def _grover_figure(
     else:
         backend = _device_backend(device_name, 3)
 
-    points = [
-        ApproxPoint(
-            0,
-            c.cnot_count,
-            c.hs_distance,
-            success_probability(backend.run(c.circuit), marked),
-        )
-        for c in pool
-    ]
+    def build() -> dict:
+        points = [
+            [
+                int(c.cnot_count),
+                float(c.hs_distance),
+                float(success_probability(backend.run(c.circuit), marked)),
+            ]
+            for c in pool
+        ]
 
-    # The reference is transpiled onto the device (level 1, as the paper's
-    # simulator experiments; its CNOT count balloons under routing, which
-    # is why the paper's Figure 14 reference exceeded 50 CNOTs).
-    reference_circuit = grover_circuit(3, marked)
-    hw_factory = None
-    if hardware:
-        hw_factory = lambda dev, qubits: FakeHardware(
-            dev, qubits, shots=scale.shots, seed=17
+        # The reference is transpiled onto the device (level 1, as the
+        # paper's simulator experiments; its CNOT count balloons under
+        # routing, which is why the paper's Figure 14 reference exceeded
+        # 50 CNOTs).
+        reference_circuit = grover_circuit(3, marked)
+        hw_factory = None
+        if hardware:
+            hw_factory = lambda dev, qubits: FakeHardware(
+                dev, qubits, shots=scale.shots, seed=17
+            )
+        ref_probs, ref_result = transpiled_virtual_distribution(
+            reference_circuit,
+            device,
+            optimization_level=1,
+            hardware=hw_factory,
         )
-    ref_probs, ref_result = transpiled_virtual_distribution(
-        reference_circuit,
-        device,
-        optimization_level=1,
-        hardware=hw_factory,
-    )
-    reference = ApproxPoint(
-        0,
-        ref_result.circuit.cnot_count,
-        0.0,
-        success_probability(ref_probs, marked),
+        return {
+            "points": points,
+            "reference": {
+                "cnot_count": int(ref_result.circuit.cnot_count),
+                "value": float(success_probability(ref_probs, marked)),
+            },
+        }
+
+    # One circuit-set evaluation = one checkpoint unit.
+    payload = checkpoint_unit(
+        {
+            "kind": "grover-figure",
+            "workload": "grover",
+            "num_qubits": 3,
+            "marked": marked,
+            "device": device_name,
+            "scale": scale.name,
+            "hardware": hardware,
+            "pool_seed": 2000 + 3,
+            "hw_seed": 17 if hardware else None,
+            "backend": backend_config(backend),
+        },
+        build,
     )
     return ScatterFigure(
         figure_id=figure_id,
         description=description,
         device=device_name,
         metric="success_prob",
-        points=points,
-        reference=reference,
+        points=[
+            ApproxPoint(0, cnots, hs, value)
+            for cnots, hs, value in payload["points"]
+        ],
+        reference=ApproxPoint(
+            0,
+            payload["reference"]["cnot_count"],
+            0.0,
+            payload["reference"]["value"],
+        ),
     )
 
 
@@ -670,42 +764,75 @@ def _toffoli_figure(
         def run_distribution(circuit: QuantumCircuit) -> np.ndarray:
             return backend.run(_prepare_reference(circuit))
 
-    points = [
-        ApproxPoint(
-            0,
-            c.cnot_count,
-            c.hs_distance,
-            toffoli_js_score(run_distribution, c.circuit, tests),
-        )
-        for c in pool
-    ]
+    def build() -> dict:
+        points = [
+            [
+                int(c.cnot_count),
+                float(c.hs_distance),
+                float(toffoli_js_score(run_distribution, c.circuit, tests)),
+            ]
+            for c in pool
+        ]
 
-    # Reference: the ancilla-free MCX construction ("Qiskit's Toffoli
-    # without ancilla").
-    reference_circuit = _prepare_reference(mcx_circuit(num_controls))
-    ref_value = toffoli_js_score(run_distribution, reference_circuit, tests)
-    reference = ApproxPoint(0, reference_circuit.cnot_count, 0.0, ref_value)
+        # Reference: the ancilla-free MCX construction ("Qiskit's Toffoli
+        # without ancilla").
+        reference_circuit = _prepare_reference(mcx_circuit(num_controls))
+        ref_value = toffoli_js_score(run_distribution, reference_circuit, tests)
 
-    # "QFast's default result": the deepest/lowest-HS circuit the
-    # synthesis run converged to.
-    extra = {}
-    qfast_circuit = pool.exact.circuit if pool.exact else pool.minimal_hs().circuit
-    qfast_hs = pool.exact.hs_distance if pool.exact else pool.minimal_hs().hs_distance
-    extra["qfast_reference"] = ApproxPoint(
-        0,
-        qfast_circuit.cnot_count,
-        qfast_hs,
-        toffoli_js_score(run_distribution, qfast_circuit, tests),
+        # "QFast's default result": the deepest/lowest-HS circuit the
+        # synthesis run converged to.
+        qfast = pool.exact if pool.exact else pool.minimal_hs()
+        return {
+            "points": points,
+            "reference": {
+                "cnot_count": int(reference_circuit.cnot_count),
+                "value": float(ref_value),
+            },
+            "qfast_reference": {
+                "cnot_count": int(qfast.circuit.cnot_count),
+                "hs_distance": float(qfast.hs_distance),
+                "value": float(
+                    toffoli_js_score(run_distribution, qfast.circuit, tests)
+                ),
+            },
+        }
+
+    payload = checkpoint_unit(
+        {
+            "kind": "toffoli-figure",
+            "workload": "toffoli",
+            "num_controls": num_controls,
+            "device": device_name,
+            "scale": scale.name,
+            "hardware": hardware,
+            "initial_layout": list(initial_layout) if initial_layout else None,
+            "optimization_level": optimization_level,
+            "pool_seed": 3000 + num_controls,
+            "hw_seed": 23 if hardware else None,
+        },
+        build,
     )
-
+    qfast_ref = payload["qfast_reference"]
     return ScatterFigure(
         figure_id=figure_id,
         description=description,
         device=device_name,
         metric="js",
-        points=points,
-        reference=reference,
-        extra_references=extra,
+        points=[
+            ApproxPoint(0, cnots, hs, value)
+            for cnots, hs, value in payload["points"]
+        ],
+        reference=ApproxPoint(
+            0, payload["reference"]["cnot_count"], 0.0, payload["reference"]["value"]
+        ),
+        extra_references={
+            "qfast_reference": ApproxPoint(
+                0,
+                qfast_ref["cnot_count"],
+                qfast_ref["hs_distance"],
+                qfast_ref["value"],
+            )
+        },
         noise_floor=UNIFORM_NOISE_JS,
     )
 

@@ -23,6 +23,8 @@ __all__ = [
     "IdealBackend",
     "NoiseModelBackend",
     "TrajectoryBackend",
+    "backend_config",
+    "backend_is_deterministic",
     "marginal_distribution",
     "transpiled_virtual_distribution",
     "run_magnetization",
@@ -41,6 +43,7 @@ class IdealBackend:
     """Noise-free execution (the "noise free reference" series)."""
 
     name = "ideal"
+    deterministic = True
 
     def __init__(self) -> None:
         self._sim = StatevectorSimulator()
@@ -56,6 +59,8 @@ class NoiseModelBackend:
     noise model: deterministic (no shot noise), including readout
     confusion.
     """
+
+    deterministic = True
 
     def __init__(self, noise_model: NoiseModel, name: Optional[str] = None) -> None:
         self.noise_model = noise_model
@@ -80,6 +85,8 @@ class TrajectoryBackend:
     independent of evaluation order.
     """
 
+    deterministic = True
+
     def __init__(
         self,
         noise_model: NoiseModel,
@@ -102,6 +109,37 @@ class TrajectoryBackend:
         return sim.probabilities(
             circuit.without_measurements(), shots=self.shots
         )
+
+
+def backend_is_deterministic(backend) -> bool:
+    """Whether ``backend.run`` is a pure function of the circuit.
+
+    Stateful backends (e.g. :class:`~repro.hardware.backend.FakeHardware`,
+    whose shot sampler advances one RNG across calls) produce results that
+    depend on evaluation *order*, so campaign checkpointing must treat
+    their whole evaluation sequence as a single unit to stay
+    resume-deterministic.
+    """
+    return bool(getattr(backend, "deterministic", False))
+
+
+def backend_config(backend) -> dict:
+    """A JSON-able provenance descriptor of a backend, for store keys.
+
+    Captures the identity that determines the backend's outputs: its
+    name, noise-model name, and — where present — shot count, seed and
+    emulation knobs. Used as part of checkpoint-unit configs so two
+    different backends never share a checkpoint.
+    """
+    cfg: dict = {"name": getattr(backend, "name", type(backend).__name__)}
+    noise_model = getattr(backend, "noise_model", None)
+    if noise_model is not None:
+        cfg["noise_model"] = getattr(noise_model, "name", None)
+    for attr in ("shots", "seed", "method", "drift", "crosstalk"):
+        value = getattr(backend, attr, None)
+        if isinstance(value, (bool, int, float, str)):
+            cfg[attr] = value
+    return cfg
 
 
 def marginal_distribution(

@@ -92,6 +92,7 @@ def parallel_map(
     jobs: Union[int, str, None] = None,
     seed: Union[int, np.random.SeedSequence, None] = None,
     chunksize: int = 1,
+    on_result: Optional[Callable[[int, R], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, fanning out over a process pool.
 
@@ -111,6 +112,13 @@ def parallel_map(
         whatever the worker count or execution order.
     chunksize:
         Tasks per pool dispatch; raise for many small tasks.
+    on_result:
+        Parent-process callback ``on_result(index, result)``, fired in
+        input order as each result becomes available (streaming under a
+        pool, per-task when serial). Lets callers fold results into
+        caches/memos without waiting for the whole map. If the pool
+        breaks mid-run the map restarts serially and the callback may
+        re-fire for early indices — keep it idempotent.
     """
     items = list(items)
     if seed is None:
@@ -123,13 +131,29 @@ def parallel_map(
         )
         children = root.spawn(len(items)) if items else []
         payloads = [(fn, item, child) for item, child in zip(items, children)]
+    def serial() -> List[R]:
+        results = []
+        for index, payload in enumerate(payloads):
+            result = _invoke(payload)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
     workers = min(effective_jobs(jobs), len(payloads))
     global _POOL_BROKEN
     if workers <= 1 or len(payloads) <= 1 or _POOL_BROKEN:
-        return [_invoke(p) for p in payloads]
+        return serial()
     try:
         with ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(_invoke, payloads, chunksize=chunksize))
+            results = []
+            for index, result in enumerate(
+                executor.map(_invoke, payloads, chunksize=chunksize)
+            ):
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results
     except (OSError, PermissionError, BrokenProcessPool, ImportError) as exc:
         # Pool start-up (or the pool itself) failed — not a task error.
         # Task errors are ordinary exceptions and propagate above.
@@ -139,4 +163,4 @@ def parallel_map(
             RuntimeWarning,
             stacklevel=2,
         )
-        return [_invoke(p) for p in payloads]
+        return serial()

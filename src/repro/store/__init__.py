@@ -1,0 +1,56 @@
+"""``repro.store`` — durable, queryable experiment persistence.
+
+Three layers:
+
+* :mod:`repro.store.core` — a content-addressed artifact store (JSON and
+  npz objects keyed by the SHA-256 digest of a canonical config), safe
+  under concurrent writers.
+* :mod:`repro.store.manifest` — per-run provenance manifests (experiment,
+  scale, seeds, devices, code version, config hash, unit keys, artifact
+  refs, completion status).
+* :mod:`repro.store.campaign` — resumable campaign orchestration: unit
+  checkpointing for the experiment drivers plus the
+  :class:`~repro.store.campaign.CampaignRunner` the CLI drives.
+
+:mod:`repro.store.serialize` (structured result payloads) and
+:mod:`repro.store.registry` (the ``repro runs`` CLI) are imported lazily
+by their callers to keep the experiment-driver import cycle trivial.
+"""
+
+from .core import (
+    ArtifactStore,
+    canonical_config,
+    config_digest,
+    open_store,
+    resolve_store_path,
+)
+from .manifest import RunManifest, code_version, list_runs, load_manifest, save_manifest
+from .campaign import (
+    CampaignContext,
+    CampaignInterrupted,
+    CampaignResult,
+    CampaignRunner,
+    campaign,
+    checkpoint_unit,
+    current_campaign,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "canonical_config",
+    "config_digest",
+    "open_store",
+    "resolve_store_path",
+    "RunManifest",
+    "code_version",
+    "list_runs",
+    "load_manifest",
+    "save_manifest",
+    "CampaignContext",
+    "CampaignInterrupted",
+    "CampaignResult",
+    "CampaignRunner",
+    "campaign",
+    "checkpoint_unit",
+    "current_campaign",
+]

@@ -1,0 +1,381 @@
+"""Resumable campaign orchestration.
+
+A *campaign* wraps existing experiment drivers so that each unit of work —
+one circuit-set evaluation, one TFIM sweep point — checkpoints its result
+into the artifact store as it completes. Re-invoking the same campaign
+against the same store skips every completed unit (a store lookup by the
+unit's config digest) and computes only the remainder, then reassembles
+the identical final artifact: unit payloads are plain JSON values, and
+JSON floats round-trip exactly, so a resumed run is byte-identical to an
+uninterrupted one.
+
+Integration is deliberately non-invasive: drivers call
+:func:`checkpoint_unit` around each unit builder. Outside a campaign the
+call is a transparent pass-through, so the experiment layer behaves
+exactly as before unless a store is active.
+
+Worker processes: :func:`campaign` exports the active store root through
+``REPRO_STORE_ACTIVE`` so units computed inside ``parallel_map`` workers
+(which do not share the parent's context variable) still checkpoint into
+the store. Workers append the keys they touch to a per-run sidecar log
+(line-append writes are atomic for these sizes), which the parent folds
+into the manifest at finalisation so ``repro runs gc`` never collects
+units a manifest should own.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, Optional, Sequence
+
+from .core import ArtifactStore, config_digest
+from .manifest import RunManifest, load_manifest, save_manifest
+
+__all__ = [
+    "CampaignContext",
+    "CampaignInterrupted",
+    "CampaignResult",
+    "CampaignRunner",
+    "campaign",
+    "checkpoint_unit",
+    "current_campaign",
+]
+
+#: Exported for worker processes: the active store root / units sidecar.
+ACTIVE_ENV = "REPRO_STORE_ACTIVE"
+UNITS_LOG_ENV = "REPRO_STORE_UNITS_LOG"
+
+_ACTIVE: "ContextVar[Optional[CampaignContext]]" = ContextVar(
+    "repro_campaign", default=None
+)
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised when a campaign hits its unit budget (``--max-units``).
+
+    The store keeps every unit completed so far; re-running the same
+    campaign against the same store resumes from the checkpoint.
+    """
+
+    def __init__(self, run_id: str, units_computed: int) -> None:
+        super().__init__(
+            f"campaign {run_id!r} interrupted after {units_computed} computed "
+            "unit(s); re-run with the same store to resume"
+        )
+        self.run_id = run_id
+        self.units_computed = units_computed
+
+
+def _collect_provenance(manifest: RunManifest, config: dict) -> None:
+    """Fold seed-ish and device fields of a unit config into the manifest."""
+
+    def walk(node, label=""):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, str(key))
+        elif isinstance(node, (list, tuple)):
+            if "seed" in label:
+                for v in node:
+                    walk(v, label)
+            return
+        else:
+            if "seed" in label and isinstance(node, (int, float)):
+                values = manifest.seeds.setdefault(label, [])
+                if node not in values:
+                    values.append(node)
+                    values.sort()
+            if label == "device" and isinstance(node, str):
+                if node not in manifest.devices:
+                    manifest.devices.append(node)
+                    manifest.devices.sort()
+
+    walk(config)
+
+
+class CampaignContext:
+    """Parent-process checkpointer: store lookups + manifest accounting."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        manifest: RunManifest,
+        *,
+        max_units: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.manifest = manifest
+        self.max_units = max_units
+        self._started = time.monotonic()
+
+    def unit(self, config: dict, builder: Callable[[], object]):
+        key = config_digest(config)
+        _collect_provenance(self.manifest, config)
+        payload = self.store.get_payload(key)
+        if payload is not None:
+            self.manifest.units_cached += 1
+            self._note(key)
+            return payload
+        if (
+            self.max_units is not None
+            and self.manifest.units_computed >= self.max_units
+        ):
+            self._flush()
+            raise CampaignInterrupted(
+                self.manifest.run_id, self.manifest.units_computed
+            )
+        payload = builder()
+        self.store.put_payload(config, payload, key=key)
+        self.manifest.units_computed += 1
+        self._note(key)
+        return payload
+
+    def _note(self, key: str) -> None:
+        if key not in self.manifest.unit_keys:
+            self.manifest.unit_keys.append(key)
+        self._flush()
+
+    def _flush(self) -> None:
+        self.manifest.wall_time = round(time.monotonic() - self._started, 3)
+        save_manifest(self.store, self.manifest)
+
+
+class _WorkerCheckpointer:
+    """Store-only checkpointing inside ``parallel_map`` worker processes.
+
+    Reconstructed from the environment; owns no manifest. Keys are logged
+    to the parent's sidecar so the finalised manifest references them.
+    """
+
+    def __init__(self, store: ArtifactStore, units_log: Optional[str]) -> None:
+        self.store = store
+        self.units_log = units_log
+
+    def unit(self, config: dict, builder: Callable[[], object]):
+        key = config_digest(config)
+        payload = self.store.get_payload(key)
+        if payload is None:
+            payload = builder()
+            self.store.put_payload(config, payload, key=key)
+        if self.units_log:
+            try:
+                with open(self.units_log, "a") as fh:
+                    fh.write(key + "\n")
+            except OSError:
+                pass
+        return payload
+
+
+def current_campaign():
+    """The active checkpointer, if any.
+
+    Parent processes see their context variable; worker processes fall
+    back to the ``REPRO_STORE_ACTIVE`` environment export.
+    """
+    ctx = _ACTIVE.get()
+    if ctx is not None:
+        return ctx
+    root = os.environ.get(ACTIVE_ENV)
+    if root:
+        return _WorkerCheckpointer(
+            ArtifactStore(root), os.environ.get(UNITS_LOG_ENV)
+        )
+    return None
+
+
+def checkpoint_unit(config: dict, builder: Callable[[], object]):
+    """Run ``builder`` through the active campaign checkpoint, if any.
+
+    The single integration point for experiment drivers: with no campaign
+    active this is exactly ``builder()``.
+    """
+    ctx = current_campaign()
+    if ctx is None:
+        return builder()
+    return ctx.unit(config, builder)
+
+
+def _units_log_path(store: ArtifactStore, run_id: str) -> str:
+    return str(store.runs_dir / f"{run_id}.units.log")
+
+
+def _merge_worker_units(store: ArtifactStore, manifest: RunManifest) -> None:
+    path = _units_log_path(store, manifest.run_id)
+    try:
+        with open(path) as fh:
+            keys = [line.strip() for line in fh if line.strip()]
+    except OSError:
+        return
+    for key in keys:
+        if key not in manifest.unit_keys:
+            manifest.unit_keys.append(key)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+@contextmanager
+def campaign(
+    store: ArtifactStore,
+    *,
+    experiment: str,
+    scale: str,
+    config: Optional[dict] = None,
+    run_id: Optional[str] = None,
+    max_units: Optional[int] = None,
+) -> Iterator[CampaignContext]:
+    """Open a checkpointing scope around one experiment run.
+
+    Creates and maintains the run manifest, exports the store to worker
+    processes, and finalises status (``complete`` / ``interrupted`` /
+    ``failed``) on exit.
+    """
+    config = dict(config or {})
+    config.setdefault("experiment", experiment)
+    config.setdefault("scale", scale)
+    if run_id is None:
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        run_id = f"{experiment}-{scale}-{stamp}-{uuid.uuid4().hex[:6]}"
+    manifest = RunManifest(
+        run_id=run_id,
+        experiment=experiment,
+        scale=scale,
+        config=config,
+        config_hash=config_digest(config),
+    )
+    ctx = CampaignContext(store, manifest, max_units=max_units)
+    save_manifest(store, manifest)
+    token = _ACTIVE.set(ctx)
+    prev_env = {k: os.environ.get(k) for k in (ACTIVE_ENV, UNITS_LOG_ENV)}
+    os.environ[ACTIVE_ENV] = str(store.root)
+    os.environ[UNITS_LOG_ENV] = _units_log_path(store, run_id)
+    try:
+        yield ctx
+    except CampaignInterrupted:
+        manifest.status = "interrupted"
+        raise
+    except BaseException as exc:
+        manifest.status = "failed"
+        manifest.error = f"{type(exc).__name__}: {exc}"
+        raise
+    else:
+        manifest.status = "complete"
+    finally:
+        _ACTIVE.reset(token)
+        for key, value in prev_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        _merge_worker_units(store, manifest)
+        ctx._flush()
+
+
+# ---------------------------------------------------------------------------
+# Campaign runner
+# ---------------------------------------------------------------------------
+
+class CampaignResult:
+    """Outcome of one experiment inside a campaign."""
+
+    def __init__(self, name: str, manifest: RunManifest, result, text: str) -> None:
+        self.name = name
+        self.manifest = manifest
+        self.result = result
+        self.text = text
+
+    @property
+    def interrupted(self) -> bool:
+        return self.manifest.status == "interrupted"
+
+    def summary(self) -> str:
+        m = self.manifest
+        return (
+            f"[campaign] {self.name}: run {m.run_id} {m.status} — "
+            f"{m.units_computed} unit(s) computed, "
+            f"{m.units_cached} skipped (checkpointed), "
+            f"wall {m.wall_time:.1f}s"
+        )
+
+
+class CampaignRunner:
+    """Run registered experiment drivers with per-unit checkpointing.
+
+    Wraps each driver in a :func:`campaign` scope, stores the finished
+    figure as a JSON artifact, and stops (leaving a resumable store
+    behind) when the unit budget interrupts a run.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        targets: Sequence[str],
+        scale,
+        *,
+        registry: Dict[str, Callable],
+        run_id: Optional[str] = None,
+        max_units: Optional[int] = None,
+        reset: Optional[Callable[[], None]] = None,
+    ) -> None:
+        unknown = [t for t in targets if t not in registry]
+        if unknown:
+            raise KeyError(f"unknown campaign target(s): {unknown}")
+        self.store = store
+        self.targets = list(targets)
+        self.scale = scale
+        self.registry = dict(registry)
+        self.run_id = run_id
+        self.max_units = max_units
+        self.reset = reset
+
+    def _run_id_for(self, name: str) -> Optional[str]:
+        if self.run_id is None:
+            return None
+        if len(self.targets) == 1:
+            return self.run_id
+        return f"{self.run_id}-{name.replace(':', '_')}"
+
+    def run(self):
+        from .serialize import result_to_payload
+
+        results = []
+        for name in self.targets:
+            if self.reset is not None:
+                # Drop in-process memoisation so every unit actually goes
+                # through the store (hits are cheap and counted as skips).
+                self.reset()
+            driver = self.registry[name]
+            try:
+                with campaign(
+                    self.store,
+                    experiment=name,
+                    scale=self.scale.name,
+                    run_id=self._run_id_for(name),
+                    max_units=self.max_units,
+                ) as ctx:
+                    result = driver(self.scale)
+                    payload = result_to_payload(
+                        result, name=name, scale=self.scale.name
+                    )
+                    artifact_key = self.store.put_payload(
+                        {
+                            "kind": "artifact",
+                            "experiment": name,
+                            "scale": self.scale.name,
+                            "run_id": ctx.manifest.run_id,
+                        },
+                        payload,
+                    )
+                    ctx.manifest.artifacts[name] = artifact_key
+            except CampaignInterrupted:
+                results.append(
+                    CampaignResult(name, ctx.manifest, None, "")
+                )
+                break
+            text = result if isinstance(result, str) else result.rows()
+            results.append(CampaignResult(name, ctx.manifest, result, text))
+        return results

@@ -1,0 +1,237 @@
+"""Content-addressed artifact store.
+
+The persistence layer behind long experiment campaigns: every unit of work
+(a circuit-set evaluation, a sweep point, a finished figure) is stored as
+an *object* keyed by the SHA-256 digest of a canonical rendering of its
+configuration. Re-running a campaign therefore finds completed units by
+construction — no bookkeeping beyond the config itself is needed to skip
+work, which is what makes interrupted runs resumable even when their
+manifest was lost or corrupted.
+
+Layout (everything under one root, ``--store`` / ``REPRO_STORE``)::
+
+    <root>/
+      objects/<kk>/<key>.json    # {"key", "config", "payload"} envelopes
+      objects/<kk>/<key>.npz     # optional array payloads
+      runs/<run_id>.json         # provenance manifests (see .manifest)
+
+Writes follow the synthesis cache's discipline (unique temp file + atomic
+rename, via :func:`repro.utils.cache.atomic_write_json`), so any number of
+processes may share one store; readers only ever see complete objects and
+the last writer of a key wins benignly (payloads are deterministic
+functions of their config, so both writers carried identical bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..utils.cache import atomic_write_json, read_json
+
+__all__ = [
+    "ArtifactStore",
+    "canonical_config",
+    "config_digest",
+    "dumps_canonical",
+    "resolve_store_path",
+    "open_store",
+]
+
+#: Environment variable naming the default store root.
+STORE_ENV = "REPRO_STORE"
+
+
+def canonical_config(obj):
+    """Normalise a config tree into a canonical JSON-ready form.
+
+    Dict keys become strings (sorted at dump time), tuples become lists,
+    numpy scalars/arrays collapse to their Python equivalents, and sets
+    are sorted. Anything else non-JSON-serialisable is rejected loudly —
+    silent ``str()`` fallbacks would make digests depend on ``repr``
+    stability.
+    """
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            key = str(key)
+            if key in out:
+                raise ValueError(f"duplicate canonical key {key!r}")
+            out[key] = canonical_config(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical_config(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical_config(v) for v in obj)
+    if isinstance(obj, np.ndarray):
+        return canonical_config(obj.tolist())
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite float {obj!r} in config")
+        return obj
+    raise TypeError(f"config value {obj!r} ({type(obj).__name__}) is not canonicalisable")
+
+
+def dumps_canonical(config) -> str:
+    """The canonical JSON text a config digests over."""
+    return json.dumps(
+        canonical_config(config), sort_keys=True, separators=(",", ":")
+    )
+
+
+def config_digest(config) -> str:
+    """SHA-256 hex digest of the canonical config rendering."""
+    return hashlib.sha256(dumps_canonical(config).encode()).hexdigest()
+
+
+def resolve_store_path(explicit: Union[str, Path, None] = None) -> Optional[Path]:
+    """Resolve the store root: explicit argument > ``REPRO_STORE`` > none."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(STORE_ENV)
+    return Path(env) if env else None
+
+
+def open_store(explicit: Union[str, Path, None] = None) -> Optional["ArtifactStore"]:
+    """An :class:`ArtifactStore` at the resolved root, or ``None``."""
+    root = resolve_store_path(explicit)
+    return ArtifactStore(root) if root is not None else None
+
+
+class ArtifactStore:
+    """Config-addressed JSON/npz object store + run-manifest directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- layout --------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def object_path(self, key: str, *, kind: str = "json") -> Path:
+        return self.objects_dir / key[:2] / f"{key}.{kind}"
+
+    # -- JSON objects --------------------------------------------------
+    def put_payload(self, config, payload, *, key: Optional[str] = None) -> str:
+        """Store ``payload`` under its config's digest; returns the key."""
+        key = key or config_digest(config)
+        path = self.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "key": key,
+            "config": canonical_config(config),
+            "payload": payload,
+        }
+        if not atomic_write_json(path, envelope, sort_keys=True):
+            raise OSError(f"cannot write store object {path}")
+        return key
+
+    def get_object(self, config_or_key) -> Optional[dict]:
+        """The full ``{"key", "config", "payload"}`` envelope, or ``None``.
+
+        A missing, truncated or corrupt object file is a miss — exactly
+        like a synthesis-cache miss, the caller recomputes and rewrites.
+        """
+        key = (
+            config_or_key
+            if isinstance(config_or_key, str)
+            else config_digest(config_or_key)
+        )
+        envelope = read_json(self.object_path(key))
+        if envelope is None or "payload" not in envelope:
+            return None
+        return envelope
+
+    def get_payload(self, config_or_key):
+        envelope = self.get_object(config_or_key)
+        return None if envelope is None else envelope["payload"]
+
+    def has(self, config_or_key) -> bool:
+        return self.get_object(config_or_key) is not None
+
+    # -- array objects -------------------------------------------------
+    def put_arrays(
+        self, config, arrays: Dict[str, np.ndarray], *, key: Optional[str] = None
+    ) -> str:
+        """Store a dict of arrays as an ``.npz`` beside the key's JSON slot."""
+        key = key or config_digest(config)
+        path = self.object_path(key, kind="npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
+            with tmp.open("wb") as fh:
+                np.savez(fh, **arrays)
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def get_arrays(self, config_or_key) -> Optional[Dict[str, np.ndarray]]:
+        key = (
+            config_or_key
+            if isinstance(config_or_key, str)
+            else config_digest(config_or_key)
+        )
+        path = self.object_path(key, kind="npz")
+        try:
+            with np.load(path) as data:
+                return {name: data[name] for name in data.files}
+        except (OSError, ValueError):
+            return None
+
+    # -- enumeration / maintenance -------------------------------------
+    def object_keys(self) -> List[str]:
+        """Every key with at least one object file, sorted."""
+        keys = set()
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*/*"):
+                if path.suffix in (".json", ".npz"):
+                    keys.add(path.stem)
+        return sorted(keys)
+
+    def temp_files(self) -> List[Path]:
+        """Leftover ``*.tmp`` files from crashed writers."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.rglob("*.tmp"))
+
+    def remove_object(self, key: str) -> int:
+        """Delete every file of ``key``; returns how many were removed."""
+        removed = 0
+        for kind in ("json", "npz"):
+            try:
+                self.object_path(key, kind=kind).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def manifest_paths(self) -> Iterator[Path]:
+        if self.runs_dir.is_dir():
+            yield from sorted(self.runs_dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore({str(self.root)!r})"

@@ -1,0 +1,152 @@
+"""Run manifests: provenance records for every campaign run.
+
+One JSON file per run under ``<store>/runs/``, recording what was run
+(experiment, scale, config hash), with what inputs (seeds, devices), by
+what code (package version + git commit), and how far it got (unit
+counts, status, wall time, artifact references). Manifests are written
+atomically and re-written as units complete, so a crash leaves at worst a
+slightly stale — never torn — record.
+
+Recovery contract: unit checkpoints are addressed by their *config*
+digest in the object store, not by the manifest, so a corrupted or
+deleted manifest loses provenance metadata only. Resuming with the same
+store still skips every completed unit; :func:`load_manifest` surfaces
+the corruption as a stub record with ``status="corrupt"`` instead of
+raising, and the registry CLI flags it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..utils.cache import atomic_write_json, read_json
+from .core import ArtifactStore
+
+__all__ = [
+    "RunManifest",
+    "code_version",
+    "load_manifest",
+    "save_manifest",
+    "list_runs",
+]
+
+MANIFEST_SCHEMA = 1
+
+#: Manifest lifecycle states ("corrupt" is synthesised at load time).
+STATUSES = ("running", "complete", "interrupted", "failed", "corrupt")
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def code_version() -> Dict[str, Optional[str]]:
+    """The code provenance stamped into every manifest."""
+    from .. import __version__
+
+    return {"package": __version__, "git": _git_commit()}
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to audit (and diff) one experiment run."""
+
+    run_id: str
+    experiment: str
+    scale: str
+    config_hash: str
+    config: dict = field(default_factory=dict)
+    seeds: Dict[str, List] = field(default_factory=dict)
+    devices: List[str] = field(default_factory=list)
+    code_version: Dict[str, Optional[str]] = field(default_factory=code_version)
+    status: str = "running"
+    created_at: str = ""
+    wall_time: float = 0.0
+    units_computed: int = 0
+    units_cached: int = 0
+    unit_keys: List[str] = field(default_factory=list)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    error: Optional[str] = None
+    schema: int = MANIFEST_SCHEMA
+
+    def __post_init__(self) -> None:
+        if not self.created_at:
+            self.created_at = datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            )
+
+    @property
+    def units_total(self) -> int:
+        return self.units_computed + self.units_cached
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def corrupt_stub(cls, run_id: str, reason: str) -> "RunManifest":
+        return cls(
+            run_id=run_id,
+            experiment="?",
+            scale="?",
+            config_hash="?",
+            status="corrupt",
+            error=reason,
+        )
+
+
+def manifest_path(store: ArtifactStore, run_id: str) -> Path:
+    return store.runs_dir / f"{run_id}.json"
+
+
+def save_manifest(store: ArtifactStore, manifest: RunManifest) -> bool:
+    store.runs_dir.mkdir(parents=True, exist_ok=True)
+    return atomic_write_json(
+        manifest_path(store, manifest.run_id), manifest.to_json(), sort_keys=True
+    )
+
+
+def load_manifest(store: ArtifactStore, run_id: str) -> Optional[RunManifest]:
+    """Load one manifest; a damaged file becomes a ``corrupt`` stub.
+
+    Returns ``None`` only when no file exists at all.
+    """
+    path = manifest_path(store, run_id)
+    if not path.exists():
+        return None
+    data = read_json(path)
+    if data is None:
+        return RunManifest.corrupt_stub(run_id, "unreadable or truncated JSON")
+    try:
+        return RunManifest.from_json(data)
+    except (TypeError, ValueError) as exc:
+        return RunManifest.corrupt_stub(run_id, f"bad manifest fields: {exc}")
+
+
+def list_runs(store: ArtifactStore) -> List[RunManifest]:
+    """All manifests in the store, oldest first, corrupt ones included."""
+    manifests = []
+    for path in store.manifest_paths():
+        loaded = load_manifest(store, path.stem)
+        if loaded is not None:
+            manifests.append(loaded)
+    return sorted(manifests, key=lambda m: (m.created_at, m.run_id))

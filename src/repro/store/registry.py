@@ -1,0 +1,216 @@
+"""The ``repro runs`` registry CLI: inspect and maintain a run store.
+
+Subcommands (all operate on the store resolved from ``--store`` /
+``REPRO_STORE``):
+
+``list``
+    One row per manifest: run id, experiment, scale, status, unit counts
+    and wall time. Corrupt manifests are listed and flagged, not hidden.
+``show <run_id>``
+    The full manifest as JSON (provenance: config hash, seeds, devices,
+    code version, artifact keys).
+``diff <run_a> <run_b>``
+    Field-by-field provenance diff plus a deep comparison of the two
+    runs' artifact payloads. Exit 0 when the artifact data is identical.
+``gc``
+    Remove leftover ``*.tmp`` files and objects no manifest references.
+    Refuses to collect while corrupt manifests exist (their references
+    are unknown) unless ``--force`` is given, which also deletes the
+    corrupt manifests themselves. ``--dry-run`` reports without deleting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+from .core import ArtifactStore
+from .manifest import RunManifest, list_runs, load_manifest, manifest_path
+
+__all__ = ["runs_main", "diff_payloads"]
+
+
+def _fmt_units(m: RunManifest) -> str:
+    return f"{m.units_computed}+{m.units_cached}c"
+
+
+def _cmd_list(store: ArtifactStore, out: Callable[[str], None]) -> int:
+    manifests = list_runs(store)
+    if not manifests:
+        out(f"no runs in store {store.root}")
+        return 0
+    out(
+        f"{'RUN_ID':<42} {'EXPERIMENT':<12} {'SCALE':<6} {'STATUS':<12} "
+        f"{'UNITS':<8} {'WALL':>7}  CREATED"
+    )
+    for m in manifests:
+        out(
+            f"{m.run_id:<42} {m.experiment:<12} {m.scale:<6} {m.status:<12} "
+            f"{_fmt_units(m):<8} {m.wall_time:>6.1f}s  {m.created_at}"
+        )
+    corrupt = [m for m in manifests if m.status == "corrupt"]
+    if corrupt:
+        out(
+            f"warning: {len(corrupt)} corrupt manifest(s) "
+            f"({', '.join(m.run_id for m in corrupt)}) — checkpointed units "
+            "are still resumable; 'repro runs gc --force' removes the stubs"
+        )
+    return 0
+
+
+def _cmd_show(
+    store: ArtifactStore, run_id: str, out: Callable[[str], None]
+) -> int:
+    manifest = load_manifest(store, run_id)
+    if manifest is None:
+        out(f"error: no run {run_id!r} in store {store.root}")
+        return 1
+    out(json.dumps(manifest.to_json(), sort_keys=True, indent=2))
+    return 1 if manifest.status == "corrupt" else 0
+
+
+def diff_payloads(a, b, path: str = "") -> List[str]:
+    """Paths at which two JSON payloads differ (leaf-level, sorted)."""
+    if type(a) is not type(b):
+        return [f"{path or '.'}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        diffs = []
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else key
+            if key not in a:
+                diffs.append(f"{sub}: only in second")
+            elif key not in b:
+                diffs.append(f"{sub}: only in first")
+            else:
+                diffs.extend(diff_payloads(a[key], b[key], sub))
+        return diffs
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return [f"{path or '.'}: length {len(a)} != {len(b)}"]
+        diffs = []
+        for i, (va, vb) in enumerate(zip(a, b)):
+            diffs.extend(diff_payloads(va, vb, f"{path}[{i}]"))
+        return diffs
+    if a != b:
+        return [f"{path or '.'}: {a!r} != {b!r}"]
+    return []
+
+
+def _cmd_diff(
+    store: ArtifactStore, id_a: str, id_b: str, out: Callable[[str], None]
+) -> int:
+    pair: List[Tuple[str, Optional[RunManifest]]] = [
+        (rid, load_manifest(store, rid)) for rid in (id_a, id_b)
+    ]
+    missing = [rid for rid, m in pair if m is None]
+    if missing:
+        out(f"error: no such run(s): {', '.join(missing)}")
+        return 1
+    (_, a), (_, b) = pair
+    assert a is not None and b is not None
+    changed = False
+    for field in ("experiment", "scale", "config_hash", "seeds", "devices",
+                  "code_version", "status"):
+        va, vb = getattr(a, field), getattr(b, field)
+        if va != vb:
+            changed = True
+            out(f"{field}: {va!r} -> {vb!r}")
+    ka, kb = set(a.unit_keys), set(b.unit_keys)
+    if ka != kb:
+        changed = True
+        out(f"unit_keys: {len(ka - kb)} only in first, {len(kb - ka)} only in second")
+    data_differs = False
+    for name in sorted(set(a.artifacts) | set(b.artifacts)):
+        key_a, key_b = a.artifacts.get(name), b.artifacts.get(name)
+        if key_a is None or key_b is None:
+            out(f"artifact {name}: present only in {'first' if key_a else 'second'}")
+            data_differs = True
+            continue
+        pa = store.get_payload(key_a)
+        pb = store.get_payload(key_b)
+        if pa is None or pb is None:
+            out(f"artifact {name}: object missing from store")
+            data_differs = True
+            continue
+        diffs = diff_payloads(pa, pb)
+        if diffs:
+            data_differs = True
+            out(f"artifact {name}: {len(diffs)} difference(s)")
+            for line in diffs[:20]:
+                out(f"  {line}")
+            if len(diffs) > 20:
+                out(f"  ... {len(diffs) - 20} more")
+        else:
+            out(f"artifact {name}: identical")
+    if not changed and not data_differs:
+        out("runs are identical (provenance and artifact data)")
+    return 1 if data_differs else 0
+
+
+def _cmd_gc(
+    store: ArtifactStore,
+    out: Callable[[str], None],
+    *,
+    dry_run: bool = False,
+    force: bool = False,
+) -> int:
+    manifests = list_runs(store)
+    corrupt = [m for m in manifests if m.status == "corrupt"]
+    if corrupt and not force:
+        out(
+            f"error: {len(corrupt)} corrupt manifest(s) — their object "
+            "references are unknown, refusing to collect (use --force to "
+            "drop them and collect anyway)"
+        )
+        return 1
+    referenced = set()
+    for m in manifests:
+        if m.status == "corrupt":
+            continue
+        referenced.update(m.unit_keys)
+        referenced.update(m.artifacts.values())
+    orphans = [k for k in store.object_keys() if k not in referenced]
+    temps = store.temp_files()
+    verb = "would remove" if dry_run else "removed"
+    if not dry_run:
+        for key in orphans:
+            store.remove_object(key)
+        for path in temps:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if force:
+            for m in corrupt:
+                try:
+                    manifest_path(store, m.run_id).unlink()
+                except OSError:
+                    pass
+    out(
+        f"{verb} {len(orphans)} orphan object(s), {len(temps)} temp file(s)"
+        + (f", {len(corrupt)} corrupt manifest(s)" if force and corrupt else "")
+    )
+    return 0
+
+
+def runs_main(
+    argv: List[str], store: ArtifactStore, out: Callable[[str], None] = print
+) -> int:
+    """Entry point for ``repro runs <action> [args]``; returns exit code."""
+    if not argv:
+        out("usage: repro runs {list|show <run_id>|diff <a> <b>|gc [--dry-run] [--force]}")
+        return 2
+    action, args = argv[0], argv[1:]
+    if action == "list" and not args:
+        return _cmd_list(store, out)
+    if action == "show" and len(args) == 1:
+        return _cmd_show(store, args[0], out)
+    if action == "diff" and len(args) == 2:
+        return _cmd_diff(store, args[0], args[1], out)
+    if action == "gc" and all(a in ("--dry-run", "--force") for a in args):
+        return _cmd_gc(
+            store, out, dry_run="--dry-run" in args, force="--force" in args
+        )
+    out(f"error: unknown runs action {' '.join(argv)!r}")
+    out("usage: repro runs {list|show <run_id>|diff <a> <b>|gc [--dry-run] [--force]}")
+    return 2

@@ -1,0 +1,226 @@
+"""Structured (JSON) serialisation of experiment results.
+
+Every figure/ablation result object renders to a deterministic JSON
+payload: primary data (series, points, references) plus a derived summary
+block, all as plain Python scalars. The same payload is written as the
+``<name>.json`` file next to the CLI's ``<name>.txt`` render and stored
+as the run's artifact object, so downstream tooling (``repro runs
+diff``, dashboards, notebooks) never has to parse text tables.
+
+Determinism contract: payload construction never embeds timestamps or
+environment state, numpy scalars are cast to Python floats/ints, and
+:func:`dumps_payload` uses sorted keys — two runs that computed the same
+numbers produce byte-identical artifact files, which is what the
+campaign resume guarantee is asserted against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "PAYLOAD_SCHEMA",
+    "dumps_payload",
+    "result_to_payload",
+    "payload_to_result",
+]
+
+PAYLOAD_SCHEMA = 1
+
+
+def _plain(value):
+    """Recursively collapse numpy containers/scalars to JSON-ready values."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    return value
+
+
+def _point(p) -> dict:
+    return {
+        "step": int(p.step),
+        "cnot_count": int(p.cnot_count),
+        "hs_distance": float(p.hs_distance),
+        "value": float(p.value),
+    }
+
+
+def _tfim_body(result) -> dict:
+    return {
+        "kind": "tfim",
+        "figure_id": result.figure_id,
+        "description": result.description,
+        "device": result.device,
+        "num_qubits": int(result.num_qubits),
+        "steps": [int(s) for s in result.steps],
+        "noise_free": _plain(result.noise_free),
+        "noisy_reference": _plain(result.noisy_reference),
+        "reference_cnots": [int(c) for c in result.reference_cnots],
+        "points": [_point(p) for p in result.points],
+        "summary": {
+            "reference_error": float(result.reference_error()),
+            "minimal_hs_error": float(result.minimal_hs_error()),
+            "best_error": float(result.best_error()),
+            "improvement": float(result.improvement()),
+            "fraction_beating_reference": float(
+                result.fraction_beating_reference()
+            ),
+        },
+    }
+
+
+def _scatter_body(result) -> dict:
+    return {
+        "kind": "scatter",
+        "figure_id": result.figure_id,
+        "description": result.description,
+        "device": result.device,
+        "metric": result.metric,
+        "points": [_point(p) for p in result.points],
+        "reference": _point(result.reference),
+        "extra_references": {
+            name: _point(p) for name, p in result.extra_references.items()
+        },
+        "noise_floor": (
+            None if result.noise_floor is None else float(result.noise_floor)
+        ),
+        "summary": {
+            "best": _point(result.best()),
+            "improvement": float(result.improvement()),
+            "fraction_better_than_reference": float(
+                result.fraction_better_than_reference()
+            ),
+        },
+    }
+
+
+def _best_depth_body(result) -> dict:
+    return {
+        "kind": "best_depth",
+        "figure_id": result.figure_id,
+        "description": result.description,
+        "steps": [int(s) for s in result.steps],
+        "series": [
+            {"level": float(level), "depths": [int(d) for d in depths]}
+            for level, depths in result.series.items()
+        ],
+        "summary": {
+            "mean_depth": {
+                repr(float(level)): float(result.mean_depth(level))
+                for level in result.series
+            }
+        },
+    }
+
+
+def result_to_payload(
+    result, *, name: Optional[str] = None, scale: Optional[str] = None
+) -> dict:
+    """The structured payload of any driver result.
+
+    Dispatches on the result's shape (duck-typed so this module never
+    imports the experiment layer at import time): TFIM figures, scatter
+    figures, best-depth figures, plain-text results, and dataclass-based
+    ablation results all serialise; anything else is rendered as text via
+    its ``rows()``.
+    """
+    if isinstance(result, str):
+        body = {"kind": "text", "text": result}
+    elif hasattr(result, "noise_free") and hasattr(result, "points"):
+        body = _tfim_body(result)
+    elif hasattr(result, "metric") and hasattr(result, "reference"):
+        body = _scatter_body(result)
+    elif hasattr(result, "series") and hasattr(result, "steps"):
+        body = _best_depth_body(result)
+    elif dataclasses.is_dataclass(result):
+        body = {
+            "kind": f"ablation:{type(result).__name__}",
+            "data": _plain(dataclasses.asdict(result)),
+        }
+    elif hasattr(result, "rows"):
+        body = {"kind": "text", "text": result.rows()}
+    else:
+        raise TypeError(f"cannot serialise result of type {type(result).__name__}")
+    payload = {"schema": PAYLOAD_SCHEMA, "experiment": name, "scale": scale}
+    payload.update(body)
+    return payload
+
+
+def dumps_payload(payload: dict) -> str:
+    """Canonical artifact text: sorted keys, 2-space indent, no NaNs."""
+    return json.dumps(payload, sort_keys=True, indent=2, allow_nan=False)
+
+
+def payload_to_result(payload: dict):
+    """Rebuild a figure object from its payload (inverse of the above).
+
+    Supports the three figure kinds; ``text`` payloads return their
+    string. Used by tooling that wants to re-render or re-analyse stored
+    artifacts without re-running the experiment.
+    """
+    from ..experiments.figures import (
+        ApproxPoint,
+        BestDepthFigure,
+        ScatterFigure,
+        TFIMFigure,
+    )
+
+    kind = payload.get("kind")
+    if kind == "text":
+        return payload["text"]
+
+    def point(d) -> ApproxPoint:
+        return ApproxPoint(
+            d["step"], d["cnot_count"], d["hs_distance"], d["value"]
+        )
+
+    if kind == "tfim":
+        return TFIMFigure(
+            figure_id=payload["figure_id"],
+            description=payload["description"],
+            device=payload["device"],
+            num_qubits=payload["num_qubits"],
+            steps=list(payload["steps"]),
+            noise_free=np.array(payload["noise_free"]),
+            noisy_reference=np.array(payload["noisy_reference"]),
+            reference_cnots=list(payload["reference_cnots"]),
+            points=[point(p) for p in payload["points"]],
+        )
+    if kind == "scatter":
+        return ScatterFigure(
+            figure_id=payload["figure_id"],
+            description=payload["description"],
+            device=payload["device"],
+            metric=payload["metric"],
+            points=[point(p) for p in payload["points"]],
+            reference=point(payload["reference"]),
+            extra_references={
+                name: point(p)
+                for name, p in payload.get("extra_references", {}).items()
+            },
+            noise_floor=payload.get("noise_floor"),
+        )
+    if kind == "best_depth":
+        return BestDepthFigure(
+            figure_id=payload["figure_id"],
+            description=payload["description"],
+            steps=list(payload["steps"]),
+            series={
+                entry["level"]: list(entry["depths"])
+                for entry in payload["series"]
+            },
+        )
+    raise ValueError(f"cannot rebuild result from payload kind {kind!r}")

@@ -38,12 +38,79 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = [
+    "atomic_write_json",
     "cache_dir",
     "cache_key",
     "load_records",
+    "read_json",
+    "seed_cache",
     "store_records",
     "clear_memory_cache",
 ]
+
+
+def read_json(path: Path) -> Optional[dict]:
+    """Parse a JSON file, or ``None`` on any filesystem/decode problem.
+
+    Shared best-effort read discipline: a missing, unreadable, truncated or
+    otherwise corrupt file is a miss, never an exception.
+    """
+    try:
+        with Path(path).open() as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+
+
+def atomic_write_json(path: Path, obj, **dump_kwargs) -> bool:
+    """Write ``obj`` as JSON via a unique temp file + atomic rename.
+
+    The concurrency discipline every on-disk layer (synthesis cache, run
+    store, manifests) shares: the temp name is unique per process *and*
+    per call, so concurrent writers of one path race benignly — the last
+    rename wins and readers only ever observe complete files. Returns
+    ``False`` (after cleaning up the temp file) when the write fails.
+    """
+    path = Path(path)
+    tmp = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    try:
+        with tmp.open("w") as fh:
+            json.dump(obj, fh, **dump_kwargs)
+        tmp.replace(path)
+        return True
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return False
+
+
+def seed_cache(source_dir: Path) -> int:
+    """Copy missing ``*.json`` entries from ``source_dir`` into the cache.
+
+    Lets a checked-in fixture set (e.g. ``tests/fixtures/repro_cache``)
+    warm an untracked cache directory so fresh clones skip synthesis.
+    Returns the number of entries copied; disabled caching or an
+    unwritable cache dir seeds nothing.
+    """
+    source = Path(source_dir)
+    directory = cache_dir(create=True)
+    if directory is None or not source.is_dir():
+        return 0
+    copied = 0
+    for entry in sorted(source.glob("*.json")):
+        target = directory / entry.name
+        if target.exists():
+            continue
+        try:
+            tmp = directory / f"{entry.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+            tmp.write_bytes(entry.read_bytes())
+            tmp.replace(target)
+            copied += 1
+        except OSError:
+            continue
+    return copied
 
 #: In-process LRU of parsed records, keyed by (directory, key).
 _MEMORY: "OrderedDict[tuple, List[dict]]" = OrderedDict()
@@ -115,12 +182,10 @@ def load_records(key: str) -> Optional[List[dict]]:
     hit = _memory_get(memory_key)
     if hit is not None:
         return hit
-    path = directory / f"{key}.json"
-    try:
-        with path.open() as fh:
-            records = json.load(fh)["records"]
-    except (OSError, json.JSONDecodeError, KeyError):
+    payload = read_json(directory / f"{key}.json")
+    if payload is None or "records" not in payload:
         return None
+    records = payload["records"]
     _memory_put(memory_key, records)
     return records
 
@@ -132,16 +197,4 @@ def store_records(key: str, records: List[dict]) -> None:
     if directory is None:
         return
     _memory_put((str(directory), key), records)
-    path = directory / f"{key}.json"
-    # Unique per process *and* per call: plain ``path.with_suffix(".tmp")``
-    # collides across concurrent workers writing the same key.
-    tmp = directory / f"{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
-    try:
-        with tmp.open("w") as fh:
-            json.dump({"records": records}, fh)
-        tmp.replace(path)
-    except OSError:
-        try:
-            tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
+    atomic_write_json(directory / f"{key}.json", {"records": records})

@@ -2,15 +2,22 @@
 
 Tests always run at the ``smoke`` experiment scale so the integration
 layer stays fast; synthesis results are disk-cached, so repeated test runs
-reuse pools.
+reuse pools. The cache directory itself is untracked — it is warmed from
+the checked-in fixture set in ``tests/fixtures/repro_cache`` so fresh
+clones skip synthesis too.
 """
 
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 os.environ.setdefault("REPRO_SCALE", "smoke")
+
+from repro.utils.cache import seed_cache  # noqa: E402
+
+seed_cache(Path(__file__).parent / "fixtures" / "repro_cache")
 
 
 @pytest.fixture

@@ -1,0 +1,235 @@
+"""Resumable campaign orchestration and the store-backed CLI flow."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.store import (
+    ArtifactStore,
+    CampaignInterrupted,
+    campaign,
+    checkpoint_unit,
+    config_digest,
+    current_campaign,
+    list_runs,
+    load_manifest,
+)
+from repro.store.campaign import ACTIVE_ENV, UNITS_LOG_ENV
+from repro.store.manifest import manifest_path
+
+
+class TestCheckpointUnit:
+    def test_passthrough_without_campaign(self):
+        assert current_campaign() is None
+        calls = []
+        out = checkpoint_unit({"kind": "t"}, lambda: calls.append(1) or 7)
+        assert out == 7 and calls == [1]
+
+    def test_computes_then_skips(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+
+        def run_once():
+            with campaign(store, experiment="exp", scale="smoke") as ctx:
+                for i in range(3):
+                    checkpoint_unit(
+                        {"kind": "unit", "i": i},
+                        lambda i=i: calls.append(i) or {"i": i},
+                    )
+            return ctx.manifest
+
+        first = run_once()
+        assert calls == [0, 1, 2]
+        assert (first.units_computed, first.units_cached) == (3, 0)
+        assert first.status == "complete"
+        second = run_once()
+        assert calls == [0, 1, 2]  # nothing recomputed
+        assert (second.units_computed, second.units_cached) == (0, 3)
+        assert second.unit_keys == first.unit_keys
+
+    def test_max_units_interrupts_and_resumes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+
+        def run(budget):
+            with campaign(
+                store,
+                experiment="exp",
+                scale="smoke",
+                run_id=f"run-{budget}",
+                max_units=budget,
+            ) as ctx:
+                total = 0.0
+                for i in range(4):
+                    unit = checkpoint_unit(
+                        {"kind": "unit", "i": i}, lambda i=i: {"v": i * 0.5}
+                    )
+                    total += unit["v"]
+            return total, ctx.manifest
+
+        with pytest.raises(CampaignInterrupted) as info:
+            run(2)
+        assert info.value.units_computed == 2
+        interrupted = load_manifest(store, "run-2")
+        assert interrupted.status == "interrupted"
+        assert len(interrupted.unit_keys) == 2
+
+        total, manifest = run(None)
+        assert total == pytest.approx(3.0)
+        assert manifest.status == "complete"
+        assert (manifest.units_computed, manifest.units_cached) == (2, 2)
+
+    def test_failure_recorded(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(RuntimeError, match="boom"):
+            with campaign(
+                store, experiment="exp", scale="smoke", run_id="run-f"
+            ):
+                checkpoint_unit({"kind": "ok"}, lambda: {})
+                raise RuntimeError("boom")
+        manifest = load_manifest(store, "run-f")
+        assert manifest.status == "failed"
+        assert "boom" in manifest.error
+        # The completed unit survives for the next attempt.
+        assert store.has({"kind": "ok"})
+
+    def test_provenance_collected_from_unit_configs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with campaign(
+            store, experiment="exp", scale="smoke", run_id="run-p"
+        ) as ctx:
+            checkpoint_unit(
+                {"kind": "u", "pool_seed": 1003, "device": "toronto"},
+                lambda: {},
+            )
+            checkpoint_unit(
+                {"kind": "u2", "seeds": [17, 23], "device": "rome"},
+                lambda: {},
+            )
+        manifest = ctx.manifest
+        assert manifest.seeds["pool_seed"] == [1003]
+        assert manifest.seeds["seeds"] == [17, 23]
+        assert manifest.devices == ["rome", "toronto"]
+        assert manifest.config_hash
+        assert manifest.code_version["package"]
+
+    def test_worker_checkpointer_via_env(self, tmp_path, monkeypatch):
+        """Workers reconstruct the store from the env and log their keys."""
+        store = ArtifactStore(tmp_path)
+        units_log = tmp_path / "runs" / "run-w.units.log"
+        units_log.parent.mkdir(parents=True)
+        monkeypatch.setenv(ACTIVE_ENV, str(tmp_path))
+        monkeypatch.setenv(UNITS_LOG_ENV, str(units_log))
+        out = checkpoint_unit({"kind": "w", "i": 1}, lambda: {"v": 1})
+        assert out == {"v": 1}
+        key = config_digest({"kind": "w", "i": 1})
+        assert store.has(key)
+        assert key in units_log.read_text()
+
+    def test_campaign_exports_and_restores_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ACTIVE_ENV, raising=False)
+        store = ArtifactStore(tmp_path)
+        with campaign(store, experiment="exp", scale="smoke"):
+            assert os.environ[ACTIVE_ENV] == str(store.root)
+        assert ACTIVE_ENV not in os.environ
+
+
+def _fig02(store_dir, out_dir, *extra):
+    argv = ["fig02", "--scale", "smoke", "--store", str(store_dir)]
+    if out_dir is not None:
+        argv += ["--output", str(out_dir)]
+    return main(argv + list(extra))
+
+
+class TestResumableCLI:
+    def test_interrupt_resume_byte_identical(self, tmp_path, capsys):
+        """The acceptance scenario: kill after k units, resume, compare."""
+        store_a, store_b = tmp_path / "a", tmp_path / "b"
+        out_a, out_b = tmp_path / "outa", tmp_path / "outb"
+
+        assert _fig02(store_a, None, "--max-units", "2") == EXIT_INTERRUPTED
+        text = capsys.readouterr().out
+        assert "interrupted" in text and "2 unit(s) computed" in text
+
+        assert _fig02(store_a, out_a) == 0
+        text = capsys.readouterr().out
+        assert "2 skipped (checkpointed)" in text
+        assert "complete" in text
+
+        assert _fig02(store_b, out_b) == 0
+        capsys.readouterr()
+        resumed = (out_a / "fig02.json").read_bytes()
+        fresh = (out_b / "fig02.json").read_bytes()
+        assert resumed == fresh  # byte-identical final artifact
+
+        runs = list_runs(ArtifactStore(store_a))
+        assert sorted(m.status for m in runs) == ["complete", "interrupted"]
+        complete = next(m for m in runs if m.status == "complete")
+        assert complete.artifacts["fig02"]
+        assert complete.seeds and complete.scale == "smoke"
+
+    def test_registry_cli_against_two_runs(self, tmp_path, capsys):
+        store = tmp_path / "s"
+        assert _fig02(store, None, "--run-id", "first") == 0
+        assert _fig02(store, None, "--run-id", "second") == 0
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "first" in out and "second" in out
+
+        assert main(["runs", "show", "first", "--store", str(store)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment"] == "fig02"
+        assert data["config_hash"] and data["code_version"]["package"]
+
+        assert main(["runs", "diff", "first", "second", "--store", str(store)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_truncated_manifest_recovery(self, tmp_path, capsys):
+        """A corrupted manifest costs provenance only, never resumability."""
+        store_dir = tmp_path / "s"
+        assert _fig02(store_dir, None, "--run-id", "first") == 0
+        capsys.readouterr()
+        store = ArtifactStore(store_dir)
+        path = manifest_path(store, "first")
+        path.write_text(path.read_text()[: 40])  # truncate mid-JSON
+
+        assert main(["runs", "list", "--store", str(store_dir)]) == 0
+        assert "corrupt" in capsys.readouterr().out
+
+        assert _fig02(store_dir, None, "--run-id", "second") == 0
+        out = capsys.readouterr().out
+        assert "0 unit(s) computed" in out  # every unit still skipped
+        second = load_manifest(store, "second")
+        assert second.status == "complete"
+
+    def test_store_campaign_target(self, tmp_path, capsys):
+        store = tmp_path / "s"
+        code = main(
+            ["campaign", "fig16", "table1", "--scale", "smoke", "--store", str(store)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[campaign] fig16" in out and "[campaign] table1" in out
+        runs = list_runs(ArtifactStore(store))
+        assert {m.experiment for m in runs} == {"fig16", "table1"}
+
+    def test_campaign_requires_store(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["campaign", "fig16"])
+        with pytest.raises(SystemExit):
+            main(["runs", "list"])
+
+    def test_max_units_requires_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["fig16", "--max-units", "1"])
+
+    def test_store_env_var(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        assert main(["fig16", "--scale", "smoke"]) == 0
+        assert "[campaign] fig16" in capsys.readouterr().out
+        assert (tmp_path / "env-store" / "runs").is_dir()

@@ -30,9 +30,35 @@ class TestCLI:
         assert main(["table1", "--scale", "smoke", "--output", str(tmp_path)]) == 0
         assert (tmp_path / "table1.txt").exists()
 
+    def test_json_output_written(self, tmp_path, capsys):
+        import json
+
+        assert main(["fig16", "--scale", "smoke", "--output", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "fig16.json").read_text())
+        assert payload["experiment"] == "fig16"
+        assert payload["scale"] == "smoke"
+        assert payload["kind"] == "text"
+
     def test_unknown_target(self, capsys):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as info:
             main(["nonsense"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown target 'nonsense'" in err
+        assert "fig02" in err and "ablations:selection" in err
+
+    def test_unrecognized_flag_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["fig16", "--bogus"])
+        assert info.value.code == 2
+
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_single_ablation(self, capsys):
         assert main(["ablations:objective", "--scale", "smoke"]) == 0

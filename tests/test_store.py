@@ -1,0 +1,323 @@
+"""The content-addressed artifact store and run manifests."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    RunManifest,
+    canonical_config,
+    config_digest,
+    list_runs,
+    load_manifest,
+    open_store,
+    resolve_store_path,
+    save_manifest,
+)
+from repro.store.core import dumps_canonical
+from repro.store.manifest import code_version, manifest_path
+from repro.store.registry import diff_payloads, runs_main
+
+
+class TestCanonicalConfig:
+    def test_key_order_irrelevant(self):
+        a = {"b": 1, "a": [1, 2], "c": {"y": 2.5, "x": "s"}}
+        b = {"c": {"x": "s", "y": 2.5}, "a": [1, 2], "b": 1}
+        assert config_digest(a) == config_digest(b)
+
+    def test_distinct_configs_distinct_digests(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+        assert config_digest({"a": 1}) != config_digest({"a": 1.0001})
+
+    def test_numpy_scalars_collapse(self):
+        a = {"n": np.int64(3), "x": np.float64(0.5), "f": np.bool_(True)}
+        b = {"n": 3, "x": 0.5, "f": True}
+        assert config_digest(a) == config_digest(b)
+
+    def test_tuples_and_sets_normalise(self):
+        assert config_digest({"c": (1, 2)}) == config_digest({"c": [1, 2]})
+        assert canonical_config({3, 1, 2}) == [1, 2, 3]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            config_digest({"x": float("nan")})
+        with pytest.raises(ValueError):
+            config_digest({"x": float("inf")})
+
+    def test_non_serialisable_rejected(self):
+        with pytest.raises(TypeError):
+            config_digest({"f": object()})
+
+    def test_canonical_text_is_compact_and_sorted(self):
+        text = dumps_canonical({"b": 1, "a": 2})
+        assert text == '{"a":2,"b":1}'
+
+
+class TestResolveStore:
+    def test_explicit_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env"))
+        assert resolve_store_path(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env"))
+        assert resolve_store_path() == tmp_path / "env"
+        store = open_store()
+        assert store is not None and store.root == tmp_path / "env"
+
+    def test_none_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert resolve_store_path() is None
+        assert open_store() is None
+
+
+class TestObjects:
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = {"kind": "unit", "step": 3}
+        key = store.put_payload(config, {"value": 0.25})
+        assert key == config_digest(config)
+        assert store.get_payload(config) == {"value": 0.25}
+        assert store.get_payload(key) == {"value": 0.25}
+        assert store.has(config)
+        envelope = store.get_object(key)
+        assert envelope["config"] == config
+        assert envelope["key"] == key
+
+    def test_miss_and_corrupt_file(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get_payload({"kind": "missing"}) is None
+        key = store.put_payload({"kind": "x"}, {"v": 1})
+        store.object_path(key).write_text('{"key": "trunc')
+        assert store.get_payload(key) is None  # corrupt = miss, no raise
+
+    def test_sharded_layout_no_temp_leftovers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put_payload({"kind": "y"}, {"v": 2})
+        path = store.object_path(key)
+        assert path.parent.name == key[:2]
+        assert store.temp_files() == []
+
+    def test_arrays_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        arrays = {"m": np.arange(6).reshape(2, 3), "v": np.array([0.5])}
+        key = store.put_arrays({"kind": "arr"}, arrays)
+        out = store.get_arrays(key)
+        np.testing.assert_array_equal(out["m"], arrays["m"])
+        np.testing.assert_array_equal(out["v"], arrays["v"])
+        assert store.get_arrays({"kind": "other"}) is None
+
+    def test_object_keys_and_remove(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k1 = store.put_payload({"kind": "a"}, {})
+        k2 = store.put_arrays({"kind": "b"}, {"x": np.zeros(1)})
+        assert store.object_keys() == sorted([k1, k2])
+        assert store.remove_object(k1) == 1
+        assert store.object_keys() == [k2]
+
+
+_STRESS_SCRIPT = """
+import sys
+from repro.store import ArtifactStore
+store = ArtifactStore(sys.argv[1])
+offset = int(sys.argv[2])
+for i in range(40):
+    config = {"kind": "stress", "i": i % 20}
+    store.put_payload(config, {"i": i % 20, "writer": "either"})
+print(len(store.object_keys()))
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_one_store(self, tmp_path):
+        """Two processes hammering overlapping keys never corrupt the store."""
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _STRESS_SCRIPT, str(tmp_path), str(k)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for k in (0, 1)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        store = ArtifactStore(tmp_path)
+        keys = store.object_keys()
+        assert len(keys) == 20
+        for key in keys:
+            payload = store.get_payload(key)  # every object parses whole
+            assert payload is not None and payload["writer"] == "either"
+        assert store.temp_files() == []
+
+
+class TestManifest:
+    def make(self, run_id="run-1"):
+        config = {"experiment": "fig02", "scale": "smoke"}
+        return RunManifest(
+            run_id=run_id,
+            experiment="fig02",
+            scale="smoke",
+            config=config,
+            config_hash=config_digest(config),
+        )
+
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        manifest = self.make()
+        manifest.seeds["pool_seed"] = [1001]
+        manifest.status = "complete"
+        assert save_manifest(store, manifest)
+        loaded = load_manifest(store, "run-1")
+        assert loaded.to_json() == manifest.to_json()
+        assert loaded.units_total == 0
+
+    def test_records_required_provenance(self):
+        manifest = self.make()
+        assert manifest.config_hash == config_digest(manifest.config)
+        assert manifest.scale == "smoke"
+        assert manifest.code_version["package"]
+        assert manifest.created_at  # ISO timestamp auto-stamped
+        assert "seeds" in manifest.to_json()
+
+    def test_code_version_shape(self):
+        version = code_version()
+        assert set(version) == {"package", "git"}
+
+    def test_missing_vs_corrupt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert load_manifest(store, "nope") is None
+        store.runs_dir.mkdir(parents=True)
+        manifest_path(store, "bad").write_text('{"run_id": "bad", trunc')
+        stub = load_manifest(store, "bad")
+        assert stub.status == "corrupt"
+        assert stub.run_id == "bad"
+
+    def test_from_json_ignores_unknown_fields(self):
+        data = self.make().to_json()
+        data["future_field"] = 42
+        loaded = RunManifest.from_json(data)
+        assert loaded.run_id == "run-1"
+
+    def test_list_runs_sorted_with_corrupt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        a = self.make("run-a")
+        a.created_at = "2026-01-02T00:00:00+00:00"
+        b = self.make("run-b")
+        b.created_at = "2026-01-01T00:00:00+00:00"
+        save_manifest(store, a)
+        save_manifest(store, b)
+        manifest_path(store, "run-c").write_text("not json")
+        runs = list_runs(store)
+        assert [m.run_id for m in runs[:2]] == ["run-b", "run-a"]
+        assert any(m.status == "corrupt" for m in runs)
+
+
+class TestDiffPayloads:
+    def test_identical(self):
+        assert diff_payloads({"a": [1, {"b": 2}]}, {"a": [1, {"b": 2}]}) == []
+
+    def test_leaf_and_structure_diffs(self):
+        diffs = diff_payloads(
+            {"a": 1, "b": [1, 2], "c": "x"},
+            {"a": 2, "b": [1, 2, 3], "d": "y"},
+        )
+        joined = "\n".join(diffs)
+        assert "a:" in joined
+        assert "length" in joined
+        assert "only in" in joined
+
+
+class TestRunsCLI:
+    def seeded_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for rid, value in (("run-a", 1.0), ("run-b", 2.0)):
+            config = {"experiment": "fig02", "scale": "smoke"}
+            manifest = RunManifest(
+                run_id=rid,
+                experiment="fig02",
+                scale="smoke",
+                config=config,
+                config_hash=config_digest(config),
+                status="complete",
+            )
+            key = store.put_payload(
+                {"kind": "artifact", "run_id": rid}, {"value": value}
+            )
+            manifest.artifacts["fig02"] = key
+            manifest.unit_keys.append(key)
+            save_manifest(store, manifest)
+        return store
+
+    def run(self, store, argv):
+        lines = []
+        code = runs_main(argv, store, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_list(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        code, out = self.run(store, ["list"])
+        assert code == 0
+        assert "run-a" in out and "run-b" in out and "complete" in out
+
+    def test_list_empty(self, tmp_path):
+        code, out = self.run(ArtifactStore(tmp_path), ["list"])
+        assert code == 0 and "no runs" in out
+
+    def test_show(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        code, out = self.run(store, ["show", "run-a"])
+        assert code == 0
+        data = json.loads(out)
+        assert data["run_id"] == "run-a"
+        assert data["config_hash"] == config_digest(data["config"])
+
+    def test_show_missing(self, tmp_path):
+        code, out = self.run(ArtifactStore(tmp_path), ["show", "nope"])
+        assert code == 1 and "no run" in out
+
+    def test_diff_differing_artifacts(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        code, out = self.run(store, ["diff", "run-a", "run-b"])
+        assert code == 1  # artifact data differs
+        assert "value" in out
+
+    def test_diff_identical_runs(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        code, out = self.run(store, ["diff", "run-a", "run-a"])
+        assert code == 0 and "identical" in out
+
+    def test_gc_orphans_and_temps(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        orphan = store.put_payload({"kind": "orphan"}, {})
+        (store.objects_dir / "aa").mkdir(parents=True, exist_ok=True)
+        temp = store.objects_dir / "aa" / "leftover.json.123.tmp"
+        temp.write_text("partial")
+        code, out = self.run(store, ["gc", "--dry-run"])
+        assert code == 0 and "would remove 1 orphan" in out
+        assert store.has(orphan)
+        code, out = self.run(store, ["gc"])
+        assert code == 0
+        assert not store.has(orphan)
+        assert not temp.exists()
+        assert len(store.object_keys()) == 2  # referenced artifacts survive
+
+    def test_gc_refuses_with_corrupt_manifest(self, tmp_path):
+        store = self.seeded_store(tmp_path)
+        manifest_path(store, "run-x").write_text("not json")
+        code, out = self.run(store, ["gc"])
+        assert code == 1 and "corrupt" in out
+        code, out = self.run(store, ["gc", "--force"])
+        assert code == 0
+        assert load_manifest(store, "run-x") is None
+
+    def test_usage_errors(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert self.run(store, [])[0] == 2
+        assert self.run(store, ["bogus"])[0] == 2
+        assert self.run(store, ["show"])[0] == 2
