@@ -19,9 +19,17 @@ provenance manifest. The store registry is inspected with::
     python -m repro runs show <run_id> --store DIR
     python -m repro runs diff <run_a> <run_b> --store DIR
     python -m repro runs gc [--dry-run] [--force] --store DIR
+    python -m repro runs retry <run_id> --store DIR
+
+Fault injection (``--faults SPEC`` or ``REPRO_FAULTS``) runs the same
+campaign under a deterministic schedule of transient failures — see
+:mod:`repro.faults` for the grammar — to exercise the retry, quarantine
+and degradation paths; activations are logged to ``<store>/faults.log``.
 
 Exit codes: 0 success, 2 usage error, 3 campaign interrupted by the unit
-budget (the store holds the completed units; re-run to resume).
+budget (the store holds the completed units; re-run to resume), 4
+campaign completed with quarantined or degraded units (``repro runs
+retry <run_id>`` re-executes exactly those units).
 """
 
 from __future__ import annotations
@@ -43,10 +51,14 @@ from .experiments.ablations import (
     warm_start_ablation,
 )
 
-__all__ = ["main", "EXPERIMENTS", "ABLATIONS"]
+__all__ = ["main", "EXPERIMENTS", "ABLATIONS", "EXIT_INTERRUPTED", "EXIT_PARTIAL"]
 
 #: Exit code when a campaign stops at its ``--max-units`` budget.
 EXIT_INTERRUPTED = 3
+
+#: Exit code when a campaign completes but some units were quarantined or
+#: degraded; ``repro runs retry <run_id>`` re-executes exactly those units.
+EXIT_PARTIAL = 4
 
 
 def _render(result) -> str:
@@ -147,13 +159,91 @@ def _run_campaign(targets: List[str], scale, store, args) -> int:
             print(item.text, end="\n\n" if len(results) > 1 else "\n")
             _write_outputs(args.output, item.name, item.result, scale)
         print(item.summary())
+    _report_fault_activations(store)
     if results and results[-1].interrupted:
         print(
             "campaign interrupted at the unit budget; re-run the same "
             f"command against {store.root} to resume"
         )
         return EXIT_INTERRUPTED
+    degraded_runs = [
+        item
+        for item in results
+        if item.partial or item.manifest.failed_units or item.manifest.degraded_units
+    ]
+    if degraded_runs:
+        for item in degraded_runs:
+            print(
+                f"run {item.manifest.run_id}: "
+                f"{len(item.manifest.failed_units)} quarantined / "
+                f"{len(item.manifest.degraded_units)} degraded unit(s); "
+                f"re-execute with 'repro runs retry {item.manifest.run_id} "
+                f"--store {store.root}'"
+            )
+        return EXIT_PARTIAL
     return 0
+
+
+def _report_fault_activations(store) -> None:
+    """Print the per-kind fault activation counts after a fault campaign."""
+    from .faults import FAULTS_LOG_ENV, activation_counts, active_plan
+
+    if active_plan() is None:
+        return
+    log = os.environ.get(FAULTS_LOG_ENV)
+    counts = activation_counts(log)
+    if not counts and log:
+        # The shared log may lag this process's in-memory record.
+        counts = activation_counts()
+    rendered = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"[faults] activations: {rendered or 'none'}")
+
+
+def _runs_retry(rest: List[str], store, args, parser) -> int:
+    """``repro runs retry <run_id>``: re-execute a run's failed units.
+
+    Loads the manifest, prunes any store objects belonging to quarantined
+    or degraded units, then re-runs the same target at the recorded scale
+    under the same run id. Every unit that succeeded resumes from its
+    checkpoint, so the retried artifact is byte-identical to what an
+    unfaulted run would have produced.
+    """
+    if len(rest) != 1:
+        parser.exit(2, "usage: repro runs retry <run_id> [--store DIR]\n")
+    run_id = rest[0]
+    from .store import load_manifest, prune_for_retry
+
+    manifest = load_manifest(store, run_id)
+    if manifest is None:
+        parser.exit(2, f"repro runs retry: no run {run_id!r} in {store.root}\n")
+    if manifest.status == "corrupt":
+        parser.exit(
+            2,
+            f"repro runs retry: manifest {run_id!r} is corrupt "
+            f"({manifest.error}); cannot determine what to re-run\n",
+        )
+    registry = _campaign_registry()
+    if manifest.experiment not in registry:
+        parser.exit(
+            2,
+            f"repro runs retry: run {run_id!r} targets unknown experiment "
+            f"{manifest.experiment!r}\n",
+        )
+    try:
+        scale = get_scale(manifest.scale)
+    except (KeyError, ValueError) as exc:
+        parser.exit(2, f"repro runs retry: {exc}\n")
+    pruned = prune_for_retry(store, manifest)
+    if pruned:
+        print(f"[retry] pruned {pruned} stale store object(s)")
+    retriable = len(manifest.failed_units) + len(manifest.degraded_units)
+    print(
+        f"[retry] {run_id}: re-running {manifest.experiment} at scale "
+        f"{manifest.scale} ({retriable} quarantined/degraded unit(s) to "
+        "recompute)"
+    )
+    args.run_id = run_id
+    return _run_campaign([manifest.experiment], scale, store, args)
 
 
 def main(argv=None) -> int:
@@ -217,6 +307,16 @@ def main(argv=None) -> int:
         default=None,
         help="explicit run id for the campaign manifest (default: generated)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault-injection spec, e.g. "
+            "'seed=11,job=0.4,crash=0.5,store=0.6,degrade=1' "
+            "(kinds: job, timeout, drift, crash, store; default: REPRO_FAULTS)"
+        ),
+    )
     args, extra = parser.parse_known_args(argv)
 
     if args.jobs is not None:
@@ -232,11 +332,32 @@ def main(argv=None) -> int:
 
     store = open_store(args.store)
 
+    if args.faults is not None:
+        from .faults import FaultPlan
+
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            parser.error(str(exc))
+        os.environ["REPRO_FAULTS"] = plan.format()
+    if os.environ.get("REPRO_FAULTS") and store is not None:
+        # Default the shared activation log next to the store so worker
+        # processes append to the same file; truncate per invocation.
+        from .faults import FAULTS_LOG_ENV
+
+        if not os.environ.get(FAULTS_LOG_ENV):
+            log_path = store.root / "faults.log"
+            log_path.parent.mkdir(parents=True, exist_ok=True)
+            log_path.write_text("")
+            os.environ[FAULTS_LOG_ENV] = str(log_path)
+
     if args.target == "runs":
         if store is None:
             parser.exit(
                 2, "repro runs: no store; pass --store DIR or set REPRO_STORE\n"
             )
+        if extra and extra[0] == "retry":
+            return _runs_retry(extra[1:], store, args, parser)
         from .store.registry import runs_main
 
         return runs_main(extra, store)

@@ -33,7 +33,7 @@ from ..metrics.selection import (
 from ..noise.devices import get_device
 from ..parallel import parallel_map
 from ..sim.expectation import average_magnetization
-from ..store.campaign import checkpoint_unit
+from ..store.campaign import UnitQuarantined, checkpoint_unit
 from ..sim.statevector import StatevectorSimulator
 from ..synthesis.objective import (
     CircuitStructure,
@@ -85,12 +85,13 @@ class SelectionAblation:
         return "\n".join(lines)
 
 
-def _selection_level_task(task) -> Dict[str, List[float]]:
+def _selection_level_task(task) -> Optional[Dict[str, List[float]]]:
     """Worker: race every strategy at one CNOT-error level (picklable).
 
-    Returns ``{strategy: [pick error per step]}`` for that level. Each
-    level is one campaign checkpoint unit, so interrupted ablation
-    campaigns resume level-by-level.
+    Returns ``{strategy: [pick error per step]}`` for that level, or
+    ``None`` when the level's unit was quarantined. Each level is one
+    campaign checkpoint unit, so interrupted ablation campaigns resume
+    level-by-level.
     """
     level, pools, spec, scale_name = task
 
@@ -119,17 +120,24 @@ def _selection_level_task(task) -> Dict[str, List[float]]:
                 )
         return errors
 
-    return checkpoint_unit(
-        {
-            "kind": "ablation-selection-level",
-            "level": level,
-            "scale": scale_name,
-            "num_qubits": spec.num_qubits,
-            "device": "ourense",
-            "pool_seeds": [1000 + step for step, _ in pools],
-        },
-        build,
-    )
+    try:
+        return checkpoint_unit(
+            {
+                "kind": "ablation-selection-level",
+                "level": level,
+                "scale": scale_name,
+                "num_qubits": spec.num_qubits,
+                "device": "ourense",
+                "pool_seeds": [1000 + step for step, _ in pools],
+            },
+            build,
+        )
+    except UnitQuarantined:
+        # Quarantined levels are dropped from the table (and recorded in
+        # the campaign manifest for ``repro runs retry``). Returning None
+        # instead of raising keeps the failure from crossing the process
+        # pool and aborting the sibling levels.
+        return None
 
 
 def selection_ablation(
@@ -153,15 +161,25 @@ def selection_ablation(
         [(level, pools, spec, scale.name) for level in levels],
         jobs=jobs,
     )
+    if all(errors is None for errors in per_level):
+        raise RuntimeError(
+            "selection ablation: every noise level was quarantined; "
+            "see the run manifest and `repro runs retry`"
+        )
     table: Dict[str, Dict[float, List[float]]] = {}
     for level, errors in zip(levels, per_level):
+        if errors is None:
+            continue
         for name, values in errors.items():
             table.setdefault(name, {})[level] = values
     collapsed = {
         name: {lvl: float(np.mean(vals)) for lvl, vals in by_level.items()}
         for name, by_level in table.items()
     }
-    return SelectionAblation(levels=list(levels), table=collapsed)
+    survived = [
+        lvl for lvl, errors in zip(levels, per_level) if errors is not None
+    ]
+    return SelectionAblation(levels=survived, table=collapsed)
 
 
 # ---------------------------------------------------------------------------

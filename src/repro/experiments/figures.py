@@ -32,7 +32,7 @@ from ..metrics.distributions import UNIFORM_NOISE_JS
 from ..noise.devices import get_device
 from ..parallel import effective_jobs, parallel_map
 from ..sim.expectation import average_magnetization
-from ..store.campaign import checkpoint_unit
+from ..store.campaign import UnitQuarantined, checkpoint_unit
 from ..transpile.basis import to_basis_gates
 from ..transpile.passes import merge_single_qubit_gates
 from .pools import grover_pool, tfim_pools, toffoli_pool
@@ -356,23 +356,38 @@ def _tfim_experiment(
     }
     if backend_is_deterministic(backend):
         # Pure backends: one resumable checkpoint unit per sweep point.
-        payloads = [
-            checkpoint_unit(
-                {
-                    "kind": "tfim-step",
-                    "step": step,
-                    "pool_seed": 1000 + step,
-                    **base_config,
-                },
-                lambda step=step, pool=pool: _tfim_step_payload(
-                    spec, step, pool, ideal, backend
-                ),
-            )
-            for step, pool in pools
-        ]
+        # A quarantined step (transient failure surviving the lower
+        # layers' retries) is dropped from the figure — the campaign
+        # records it, ``repro runs retry`` recomputes it — but at least
+        # one step must survive or there is no figure to assemble.
+        computed: List[Tuple[int, dict]] = []
+        quarantined: Optional[UnitQuarantined] = None
+        for step, pool in pools:
+            try:
+                payload = checkpoint_unit(
+                    {
+                        "kind": "tfim-step",
+                        "step": step,
+                        "pool_seed": 1000 + step,
+                        **base_config,
+                    },
+                    lambda step=step, pool=pool: _tfim_step_payload(
+                        spec, step, pool, ideal, backend
+                    ),
+                )
+            except UnitQuarantined as exc:
+                quarantined = exc
+                continue
+            computed.append((step, payload))
+        if not computed:
+            assert quarantined is not None
+            raise quarantined
+        steps = [s for s, _ in computed]
+        payloads = [p for _, p in computed]
     else:
         # Stateful backends (shot RNG carried across runs): evaluation
-        # order is part of the result, so the whole figure is one unit.
+        # order is part of the result, so the whole figure is one unit —
+        # a quarantine here propagates (no partial figure is possible).
         config = {
             "kind": "tfim-figure",
             "steps": steps,

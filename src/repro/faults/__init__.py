@@ -1,0 +1,66 @@
+"""``repro.faults`` — deterministic fault injection + resilience policies.
+
+Two halves, shared by every execution layer (:mod:`repro.parallel`,
+:mod:`repro.hardware`, :mod:`repro.store`):
+
+* :mod:`repro.faults.plan` — a seeded :class:`FaultPlan` that injects
+  transient job failures, submission timeouts, calibration-drift
+  rejections, worker crashes and torn store writes on a reproducible
+  schedule (pure function of ``(fault_seed, kind, site, attempt)``),
+  activated via ``--faults`` / ``REPRO_FAULTS``.
+* :mod:`repro.faults.retry` — the :class:`retrying` backoff policy and
+  :class:`CircuitBreaker` that turn those transient failures into retried,
+  quarantined or gracefully degraded units instead of aborted campaigns.
+
+:mod:`repro.faults.errors` defines the transient-vs-fatal exception
+taxonomy both halves agree on.
+"""
+
+from .errors import (
+    CalibrationDriftError,
+    JobFailedError,
+    SubmissionTimeout,
+    TaskTimeoutError,
+    TornWriteError,
+    TransientError,
+    classify_exception,
+)
+from .plan import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FAULTS_LOG_ENV,
+    FaultPlan,
+    activation_counts,
+    active_plan,
+    degradation_events,
+    maybe_inject,
+    note_degradation,
+    record_activation,
+    reset_activations,
+    reset_degradations,
+)
+from .retry import CircuitBreaker, retrying
+
+__all__ = [
+    "CalibrationDriftError",
+    "JobFailedError",
+    "SubmissionTimeout",
+    "TaskTimeoutError",
+    "TornWriteError",
+    "TransientError",
+    "classify_exception",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FAULTS_LOG_ENV",
+    "FaultPlan",
+    "activation_counts",
+    "active_plan",
+    "degradation_events",
+    "maybe_inject",
+    "note_degradation",
+    "record_activation",
+    "reset_activations",
+    "reset_degradations",
+    "CircuitBreaker",
+    "retrying",
+]

@@ -1,0 +1,76 @@
+"""The failure taxonomy the resilience layer retries, quarantines or raises.
+
+Every fault the execution layers can encounter — injected or real — is
+classified into exactly one of two buckets:
+
+* **transient** — the operation may succeed if repeated: flaky job
+  submissions, queue timeouts, calibration-drift rejections, torn store
+  writes, dead pool workers. :func:`classify_exception` maps these to
+  ``"transient"`` and the :func:`repro.faults.retry.retrying` policy
+  retries them under a budget.
+* **fatal** — a programming or configuration error that repeating cannot
+  fix (``ValueError``, ``TypeError``, assertion failures, ...). These
+  propagate immediately; retrying them would only hide bugs.
+
+All injected faults derive from :class:`TransientError` so the retry and
+quarantine machinery treats simulated and genuine flakiness identically.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+__all__ = [
+    "TransientError",
+    "JobFailedError",
+    "SubmissionTimeout",
+    "CalibrationDriftError",
+    "TornWriteError",
+    "TaskTimeoutError",
+    "classify_exception",
+]
+
+
+class TransientError(RuntimeError):
+    """Base class for failures that are worth retrying."""
+
+
+class JobFailedError(TransientError):
+    """A backend job failed after submission (flaky execution)."""
+
+
+class SubmissionTimeout(TransientError):
+    """A job submission timed out before the backend accepted it."""
+
+
+class CalibrationDriftError(TransientError):
+    """A job was rejected because the calibration drifted mid-campaign."""
+
+
+class TornWriteError(TransientError):
+    """A store write was interrupted, leaving a torn object behind.
+
+    The content-addressed store treats torn objects as misses on read, so
+    the correct recovery is simply to rewrite — which is why this is
+    transient.
+    """
+
+
+class TaskTimeoutError(TransientError):
+    """A :func:`repro.parallel.parallel_map` task exceeded its deadline."""
+
+
+#: Exception types (beyond :class:`TransientError`) treated as transient:
+#: I/O hiccups, timeouts, dropped connections and dead executors.
+TRANSIENT_TYPES = (
+    TransientError,
+    TimeoutError,
+    ConnectionError,
+    OSError,
+    BrokenExecutor,
+)
+
+
+def classify_exception(exc: BaseException) -> str:
+    """``"transient"`` for retryable failures, ``"fatal"`` for the rest."""
+    return "transient" if isinstance(exc, TRANSIENT_TYPES) else "fatal"

@@ -1,0 +1,260 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultPlan` decides — reproducibly — whether a fault fires at a
+given *injection site*. The decision is a pure function of
+``(fault_seed, kind, site, attempt)``: a SHA-256 hash of those four values
+is mapped to a uniform draw in ``[0, 1)`` and compared against the kind's
+configured rate. Nothing depends on wall-clock time, worker count or
+execution order, so a fault campaign replays identically and CI can
+byte-compare a fault-injected-then-retried run against a fault-free one.
+
+The ``attempt`` coordinate is what lets retries make progress: a site that
+fired at attempt 0 redraws at attempt 1, so any rate below 1.0 eventually
+lets the operation through while rates of exactly 1.0 model a hard outage
+(the quarantine path).
+
+Plans are activated through the environment (``REPRO_FAULTS``, which the
+CLI's ``--faults`` flag exports) so worker processes inherit the exact
+same fault stream as the parent. The grammar is comma-separated
+``key=value`` pairs::
+
+    REPRO_FAULTS="seed=11,job=0.4,timeout=0.1,drift=0.1,crash=0.5,store=0.6,degrade=1"
+
+with ``seed`` (int, default 0), ``degrade`` (0/1 — allow the hardware
+circuit breaker to fall back to plain noise-model simulation) and one
+rate in ``[0, 1]`` per fault kind:
+
+========  ==========================================================
+kind      effect at an injection site
+========  ==========================================================
+job       transient job failure (:class:`JobFailedError`)
+timeout   submission timeout (:class:`SubmissionTimeout`)
+drift     calibration-drift rejection (:class:`CalibrationDriftError`)
+crash     pool worker dies mid-task (``os._exit`` in the worker)
+store     torn store write (:class:`TornWriteError` + corrupt bytes)
+========  ==========================================================
+
+Every activation is appended to the file named by ``REPRO_FAULTS_LOG``
+(when set) and to an in-process counter, so drivers and CI can assert
+that a fault campaign actually exercised the resilience paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import (
+    CalibrationDriftError,
+    JobFailedError,
+    SubmissionTimeout,
+    TornWriteError,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULTS_LOG_ENV",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "active_plan",
+    "maybe_inject",
+    "record_activation",
+    "activation_counts",
+    "reset_activations",
+    "note_degradation",
+    "degradation_events",
+    "reset_degradations",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_LOG_ENV = "REPRO_FAULTS_LOG"
+
+FAULT_KINDS = ("job", "timeout", "drift", "crash", "store")
+
+#: kind -> exception raised by :func:`maybe_inject`.
+_KIND_ERRORS = {
+    "job": JobFailedError,
+    "timeout": SubmissionTimeout,
+    "drift": CalibrationDriftError,
+    "store": TornWriteError,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of fault activations per injection site."""
+
+    seed: int = 0
+    rates: Dict[str, float] = field(default_factory=dict)
+    degrade: bool = False
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``--faults`` / ``REPRO_FAULTS`` grammar.
+
+        Raises :class:`ValueError` on unknown kinds, malformed pairs or
+        rates outside ``[0, 1]``.
+        """
+        seed = 0
+        degrade = False
+        rates: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"fault spec {part!r} is not 'key=value' "
+                    f"(full spec: {spec!r})"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key == "degrade":
+                degrade = value not in ("0", "", "false")
+            elif key in FAULT_KINDS:
+                rate = float(value)
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"fault rate {key}={rate} outside [0, 1]"
+                    )
+                rates[key] = rate
+            else:
+                raise ValueError(
+                    f"unknown fault kind {key!r}; valid kinds: "
+                    f"{', '.join(FAULT_KINDS)} (plus seed=, degrade=)"
+                )
+        return cls(seed=seed, rates=rates, degrade=degrade)
+
+    def format(self) -> str:
+        """Round-trippable spec text (``parse(format())`` == self)."""
+        parts = [f"seed={self.seed}"]
+        parts += [f"{k}={v:g}" for k, v in sorted(self.rates.items())]
+        if self.degrade:
+            parts.append("degrade=1")
+        return ",".join(parts)
+
+    def draw(self, kind: str, site: str, attempt: int = 0) -> float:
+        """The uniform [0, 1) draw for one (kind, site, attempt) point."""
+        text = f"{self.seed}:{kind}:{site}:{attempt}"
+        digest = hashlib.sha256(text.encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def should_fire(self, kind: str, site: str, attempt: int = 0) -> bool:
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return self.draw(kind, site, attempt) < rate
+
+
+# ---------------------------------------------------------------------------
+# Active plan (environment-driven, inherited by worker processes)
+# ---------------------------------------------------------------------------
+
+#: (spec text, parsed plan) cache so repeated lookups skip parsing.
+_CACHED: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+    global _CACHED
+    spec = os.environ.get(FAULTS_ENV)
+    if not spec:
+        return None
+    if _CACHED[0] != spec:
+        _CACHED = (spec, FaultPlan.parse(spec))
+    return _CACHED[1]
+
+
+# ---------------------------------------------------------------------------
+# Activation accounting
+# ---------------------------------------------------------------------------
+
+_ACTIVATIONS: List[Tuple[str, str]] = []  # (kind, site), this process only
+
+
+def record_activation(kind: str, site: str) -> None:
+    """Count one fired fault (in-process + the shared log file, if any)."""
+    _ACTIVATIONS.append((kind, site))
+    log = os.environ.get(FAULTS_LOG_ENV)
+    if log:
+        try:
+            with open(log, "a") as fh:
+                fh.write(f"{kind}\t{site}\n")
+        except OSError:
+            pass
+
+
+def activation_counts(log_path: Optional[str] = None) -> Dict[str, int]:
+    """Per-kind activation counts.
+
+    With ``log_path`` the shared log file is read (covering worker
+    processes); otherwise only this process's in-memory record is used.
+    """
+    counts: Dict[str, int] = {}
+    if log_path is not None:
+        try:
+            with open(log_path) as fh:
+                for line in fh:
+                    kind = line.split("\t", 1)[0].strip()
+                    if kind:
+                        counts[kind] = counts.get(kind, 0) + 1
+        except OSError:
+            pass
+        return counts
+    for kind, _site in _ACTIVATIONS:
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def reset_activations() -> None:
+    """Drop the in-process activation record (tests)."""
+    _ACTIVATIONS.clear()
+
+
+def maybe_inject(kind: str, site: str, attempt: int = 0) -> None:
+    """Raise the fault for ``kind`` iff the active plan fires at this site.
+
+    No-op without an active plan. ``crash`` is not raised here — worker
+    death is injected by the pool layer itself (see
+    :mod:`repro.parallel.pool`).
+    """
+    plan = active_plan()
+    if plan is None or not plan.should_fire(kind, site, attempt):
+        return
+    record_activation(kind, site)
+    error = _KIND_ERRORS[kind]
+    raise error(f"injected {kind} fault at {site} (attempt {attempt})")
+
+
+# ---------------------------------------------------------------------------
+# Degradation accounting
+# ---------------------------------------------------------------------------
+
+_DEGRADATIONS: List[Tuple[str, str]] = []  # (site, reason), this process
+
+
+def note_degradation(site: str, reason: str) -> None:
+    """Record that a component fell back to a degraded execution mode.
+
+    The campaign layer snapshots :func:`degradation_events` around each
+    unit so degraded results are flagged in the run manifest, never
+    silently mixed into checkpointed artifacts.
+    """
+    _DEGRADATIONS.append((site, reason))
+
+
+def degradation_events() -> List[Tuple[str, str]]:
+    """All degradations noted in this process, oldest first."""
+    return list(_DEGRADATIONS)
+
+
+def reset_degradations() -> None:
+    """Drop the in-process degradation record (tests)."""
+    _DEGRADATIONS.clear()

@@ -1,0 +1,143 @@
+"""Retry policies and the circuit breaker.
+
+:class:`retrying` is the one retry discipline the execution layers share
+(hardware job execution, store writes): a bounded number of attempts,
+exponential backoff with decorrelated jitter between them, and exception
+classification so only transient failures are retried. The clock, sleep
+function and jitter RNG are all injectable, so tests drive the policy with
+a fake clock and assert the backoff bounds exactly.
+
+Backoff follows the "decorrelated jitter" scheme: the ``i``-th delay is
+drawn uniformly from ``[base_delay, min(max_delay, 3 * previous_delay)]``,
+which spreads concurrent retriers apart instead of synchronising them the
+way fixed exponential backoff does.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, List, Optional, TypeVar
+
+from .errors import classify_exception
+
+__all__ = ["retrying", "CircuitBreaker"]
+
+R = TypeVar("R")
+
+
+class retrying:
+    """A reusable retry policy: ``policy.call(fn)`` runs ``fn(attempt)``.
+
+    Parameters
+    ----------
+    attempts:
+        Total attempt budget (first try included); must be >= 1.
+    base_delay, max_delay:
+        Backoff bounds in seconds. Every sleep lies in
+        ``[base_delay, max_delay]``.
+    classify:
+        Maps an exception to ``"transient"`` (retry) or ``"fatal"``
+        (re-raise immediately). Defaults to
+        :func:`repro.faults.errors.classify_exception`.
+    sleep:
+        Injectable sleep function (tests pass a recording fake).
+    rng:
+        Injectable :class:`random.Random` for the jitter draws.
+    on_retry:
+        Optional observer ``on_retry(attempt, exc, delay)`` fired before
+        each backoff sleep.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        *,
+        base_delay: float = 0.05,
+        max_delay: float = 1.0,
+        classify: Callable[[BaseException], str] = classify_exception,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"retry budget must be >= 1, got {attempts}")
+        if not 0 <= base_delay <= max_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{base_delay}/{max_delay}"
+            )
+        self.attempts = int(attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.classify = classify
+        self.sleep = sleep
+        self.rng = rng if rng is not None else random.Random()
+        self.on_retry = on_retry
+
+    def next_delay(self, previous: Optional[float]) -> float:
+        """One decorrelated-jitter backoff delay, within the bounds."""
+        if previous is None:
+            previous = self.base_delay
+        high = min(self.max_delay, 3.0 * previous)
+        high = max(high, self.base_delay)
+        return self.rng.uniform(self.base_delay, high)
+
+    def call(self, fn: Callable[[int], R]) -> R:
+        """Run ``fn(attempt)`` under the policy; attempts are 0-based.
+
+        Transient failures are retried until the budget is exhausted,
+        then the last one re-raises. Fatal failures re-raise immediately.
+        """
+        delay: Optional[float] = None
+        for attempt in range(self.attempts):
+            try:
+                return fn(attempt)
+            except Exception as exc:
+                if self.classify(exc) == "fatal":
+                    raise
+                if attempt + 1 >= self.attempts:
+                    raise
+                delay = self.next_delay(delay)
+                if self.on_retry is not None:
+                    self.on_retry(attempt, exc, delay)
+                self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Stop hammering a dependency after repeated retry-budget exhaustion.
+
+    ``record_failure`` counts *exhausted retry budgets* (not individual
+    attempt failures); once ``threshold`` consecutive failures accumulate
+    the breaker opens and stays open until :meth:`reset`. The hardware
+    layer consults ``breaker.open`` to decide whether to keep attempting
+    emulation or to fall back to its degraded execution path.
+    """
+
+    def __init__(self, threshold: int = 1) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.failures = 0
+        self.last_error: Optional[BaseException] = None
+
+    @property
+    def open(self) -> bool:
+        return self.failures >= self.threshold
+
+    def record_failure(self, exc: Optional[BaseException] = None) -> None:
+        self.failures += 1
+        if exc is not None:
+            self.last_error = exc
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.last_error = None
+
+    def reset(self) -> None:
+        self.record_success()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.open else "closed"
+        return f"CircuitBreaker({state}, failures={self.failures}/{self.threshold})"

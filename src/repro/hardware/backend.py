@@ -16,6 +16,20 @@ noise model (§6.3-6.4):
 These additions make hardware runs strictly noisier than clean noise-model
 simulation while remaining "distributed similarly" (the paper's
 Observation 7), which is the property the hardware figures rely on.
+
+Resilience: real IBM queues lose jobs to transient failures, submission
+timeouts and calibration drift. ``run`` is therefore a *job execution*
+with a retry policy (:class:`repro.faults.retrying`): under an active
+fault plan (``--faults`` / ``REPRO_FAULTS``) transient faults are injected
+*before* the shot sampler consumes any randomness, so a retried job yields
+bit-identical results to an uninjected one. When the retry budget is
+exhausted a circuit breaker opens; if degradation is allowed (plan option
+``degrade=1`` or ``allow_degraded=True``) subsequent jobs fall back to
+plain noise-model simulation — flagged via
+:func:`repro.faults.note_degradation` so the campaign manifest records the
+unit as degraded, never silently mixing the two execution modes.
+Otherwise the transient error propagates and the campaign layer
+quarantines the unit.
 """
 
 from __future__ import annotations
@@ -25,11 +39,19 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..faults import (
+    CircuitBreaker,
+    TransientError,
+    active_plan,
+    maybe_inject,
+    note_degradation,
+    retrying,
+)
 from ..linalg.unitary import apply_matrix_to_state
 from ..noise.channels import KrausChannel, apply_readout_errors, depolarizing_channel
 from ..noise.devices import DeviceSnapshot, get_device
 from ..noise.model import NoiseModel
-from ..sim.density_matrix import DensityMatrix
+from ..sim.density_matrix import DensityMatrix, DensityMatrixSimulator
 from ..sim.sampler import sample_counts, counts_to_probabilities
 
 __all__ = ["FakeHardware"]
@@ -54,6 +76,13 @@ class FakeHardware:
         error (0 disables).
     seed:
         Seeds both the drift realisation and the shot sampler.
+    retry:
+        Retry policy for transient job failures; defaults to a 4-attempt
+        exponential backoff with decorrelated jitter.
+    allow_degraded:
+        Whether exhausting the retry budget may open the circuit breaker
+        and fall back to plain noise-model simulation. ``None`` (default)
+        defers to the active fault plan's ``degrade`` option.
     """
 
     def __init__(
@@ -66,6 +95,8 @@ class FakeHardware:
         crosstalk: float = 0.35,
         seed: int = 1234,
         include_thermal: bool = True,
+        retry: Optional[retrying] = None,
+        allow_degraded: Optional[bool] = None,
     ) -> None:
         self.device = get_device(device) if isinstance(device, str) else device
         if qubits is None:
@@ -75,6 +106,15 @@ class FakeHardware:
         self.drift = float(drift)
         self.crosstalk = float(crosstalk)
         self.seed = int(seed)
+        self.include_thermal = bool(include_thermal)
+        self.allow_degraded = allow_degraded
+        self.degraded = False
+        self._retry = retry or retrying(
+            attempts=4, base_delay=0.02, max_delay=0.5
+        )
+        self._breaker = CircuitBreaker()
+        self._job_index = 0
+        self._degraded_sim: Optional[DensityMatrixSimulator] = None
         self._rng = np.random.default_rng(seed)
 
         drifted = self._drifted_device()
@@ -178,7 +218,38 @@ class FakeHardware:
         return DensityMatrix(rho)
 
     def run(self, circuit: QuantumCircuit) -> np.ndarray:
-        """Execute with shots: returns the *empirical* distribution."""
+        """Execute one job with shots: the *empirical* distribution.
+
+        Transient failures (injected or genuine) are retried under the
+        backend's policy; faults fire before the shot sampler consumes
+        randomness, so a retried job is bit-identical to an unfaulted one.
+        An exhausted retry budget opens the circuit breaker: with
+        degradation allowed the job (and all subsequent ones) falls back
+        to plain noise-model simulation, otherwise the error propagates
+        for the campaign layer to quarantine the unit.
+        """
+        site = f"{self.name}:job{self._job_index}"
+        self._job_index += 1
+        if self.degraded:
+            return self._run_degraded(circuit, site)
+        try:
+            probs = self._retry.call(
+                lambda attempt: self._execute_job(circuit, site, attempt)
+            )
+        except TransientError as exc:
+            self._breaker.record_failure(exc)
+            if self._breaker.open and self._degradation_allowed():
+                self.degraded = True
+                return self._run_degraded(circuit, site)
+            raise
+        self._breaker.record_success()
+        return probs
+
+    def _execute_job(self, circuit: QuantumCircuit, site: str, attempt: int) -> np.ndarray:
+        """One submission attempt; injection points precede any RNG use."""
+        maybe_inject("timeout", site, attempt)
+        maybe_inject("job", site, attempt)
+        maybe_inject("drift", site, attempt)
         rho = self.run_density_matrix(circuit)
         probs = rho.probabilities()
         probs = apply_readout_errors(
@@ -188,6 +259,32 @@ class FakeHardware:
             probs, self.shots, num_qubits=circuit.num_qubits, seed=self._rng
         )
         return counts_to_probabilities(counts, circuit.num_qubits)
+
+    def _degradation_allowed(self) -> bool:
+        if self.allow_degraded is not None:
+            return self.allow_degraded
+        plan = active_plan()
+        return bool(plan is not None and plan.degrade)
+
+    def _run_degraded(self, circuit: QuantumCircuit, site: str) -> np.ndarray:
+        """Plain noise-model simulation of the *calibrated* device.
+
+        No drift, no crosstalk, no shot noise — exactly what a
+        :class:`~repro.experiments.runner.NoiseModelBackend` would return.
+        Every degraded job is reported so campaign manifests flag the
+        units it contributed to; degraded results are never checkpointed.
+        """
+        note_degradation(
+            site,
+            f"{self.name}: degraded to plain noise-model simulation "
+            f"({self._breaker.last_error or 'emulation unavailable'})",
+        )
+        if self._degraded_sim is None:
+            model = self.device.noise_model(
+                self.qubits, include_thermal=self.include_thermal
+            )
+            self._degraded_sim = DensityMatrixSimulator(model)
+        return self._degraded_sim.probabilities(circuit.without_measurements())
 
     def run_exact(self, circuit: QuantumCircuit) -> np.ndarray:
         """The shot-free limit (for variance-free tests)."""

@@ -4,6 +4,18 @@ See :mod:`repro.parallel.pool` for the guarantees (ordering, per-task
 seeding via ``SeedSequence.spawn``, serial fallback).
 """
 
-from .pool import effective_jobs, parallel_map, spawn_generators
+from .pool import (
+    POOL_RETRY_COOLDOWN,
+    effective_jobs,
+    parallel_map,
+    reset_pool,
+    spawn_generators,
+)
 
-__all__ = ["effective_jobs", "parallel_map", "spawn_generators"]
+__all__ = [
+    "POOL_RETRY_COOLDOWN",
+    "effective_jobs",
+    "parallel_map",
+    "reset_pool",
+    "spawn_generators",
+]

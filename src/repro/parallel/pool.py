@@ -4,7 +4,7 @@ The pipeline is embarrassingly parallel: pools of approximate circuits are
 synthesised once per workload and re-executed under every noise setting, so
 the per-timestep / per-level / per-width loops in the experiment drivers are
 independent tasks. :func:`parallel_map` fans such loops out over a process
-pool while keeping three guarantees the experiment layer depends on:
+pool while keeping four guarantees the experiment layer depends on:
 
 * **Determinism.** Results come back in input order, and when a ``seed`` is
   given every task receives its own :class:`numpy.random.Generator` built
@@ -12,12 +12,33 @@ pool while keeping three guarantees the experiment layer depends on:
   task sees depends only on ``(seed, task index)``, never on worker count
   or scheduling. Identical seeds therefore produce identical results
   regardless of ``REPRO_JOBS``.
+* **Crash tolerance.** A dead worker (OOM kill, segfault, injected
+  ``crash`` fault) breaks the pool; the map detects it, starts a fresh
+  pool, and reschedules *only the unfinished payloads* — already-delivered
+  results are kept and ``on_result`` never re-fires for them. Rescheduling
+  is bounded (``max_restarts`` pool incarnations); whatever is still
+  unfinished after that runs serially. Because tasks are pure functions of
+  their payload, results are identical regardless of which worker died.
 * **Graceful degradation.** ``REPRO_JOBS=1`` (the default), a single-item
   input, or an environment where process pools cannot start (restricted
   sandboxes, missing semaphores) all fall back to a plain serial loop with
-  the exact same task arguments.
+  the exact same task arguments. A failed pool start disables the pool for
+  a cooldown window (:data:`POOL_RETRY_COOLDOWN`) instead of permanently —
+  one transient start-up failure no longer costs the whole process its
+  parallelism.
 * **Transparency.** Worker exceptions propagate to the caller unchanged,
   like the serial loop's would.
+
+Per-task deadlines: with ``deadline`` set, a task that produces no result
+within (approximately) that many seconds is abandoned with its pool and
+rescheduled; a task that exhausts its reschedule budget raises
+:class:`repro.faults.TaskTimeoutError` — a transient error the campaign
+layer quarantines instead of aborting on.
+
+Fault injection: under an active :mod:`repro.faults` plan with a ``crash``
+rate, workers deterministically die (``os._exit``) per
+``(fault_seed, task index, pool round)``, exercising the rescheduling path
+end-to-end.
 
 Workers inherit the synthesis disk cache, which
 :mod:`repro.utils.cache` makes safe under concurrent writers.
@@ -26,20 +47,63 @@ Workers inherit the synthesis disk cache, which
 from __future__ import annotations
 
 import os
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
 
 import numpy as np
 
-__all__ = ["effective_jobs", "parallel_map", "spawn_generators"]
+from ..faults import TaskTimeoutError, active_plan, record_activation
+
+__all__ = [
+    "effective_jobs",
+    "parallel_map",
+    "spawn_generators",
+    "reset_pool",
+    "POOL_RETRY_COOLDOWN",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Set after the first failed pool start so later calls skip the retry.
-_POOL_BROKEN = False
+#: Seconds a failed pool start disables the pool for (then it is retried).
+POOL_RETRY_COOLDOWN = 30.0
+
+#: Monotonic timestamp of the last failed pool start, or ``None``.
+_POOL_FAILED_AT: Optional[float] = None
+
+
+def reset_pool() -> None:
+    """Clear the pool-failure cooldown so the next map tries a pool again."""
+    global _POOL_FAILED_AT
+    _POOL_FAILED_AT = None
+
+
+def _pool_unavailable() -> bool:
+    """Whether the last pool-start failure is still inside its cooldown."""
+    if _POOL_FAILED_AT is None:
+        return False
+    if time.monotonic() - _POOL_FAILED_AT >= POOL_RETRY_COOLDOWN:
+        reset_pool()
+        return False
+    return True
+
+
+def _note_pool_failure() -> None:
+    global _POOL_FAILED_AT
+    _POOL_FAILED_AT = time.monotonic()
 
 
 def effective_jobs(jobs: Union[int, str, None] = None) -> int:
@@ -85,6 +149,23 @@ def _invoke(payload):
     return fn(item, np.random.default_rng(child_seq))
 
 
+def _run_chunk(batch):
+    """Worker: run a chunk of ``(index, round, payload)`` tasks.
+
+    The injected ``crash`` fault kills the worker process here — before
+    the task runs — so rescheduled tasks recompute from scratch and the
+    results are bit-identical to an uninjected run.
+    """
+    out = []
+    for index, round_, payload in batch:
+        plan = active_plan()
+        if plan is not None and plan.should_fire("crash", f"task:{index}", round_):
+            record_activation("crash", f"task:{index}")
+            os._exit(13)
+        out.append((index, _invoke(payload)))
+    return out
+
+
 def parallel_map(
     fn: Callable[..., R],
     items: Iterable[T],
@@ -93,6 +174,8 @@ def parallel_map(
     seed: Union[int, np.random.SeedSequence, None] = None,
     chunksize: int = 1,
     on_result: Optional[Callable[[int, R], None]] = None,
+    deadline: Optional[float] = None,
+    max_restarts: int = 2,
 ) -> List[R]:
     """Map ``fn`` over ``items``, fanning out over a process pool.
 
@@ -115,10 +198,16 @@ def parallel_map(
     on_result:
         Parent-process callback ``on_result(index, result)``, fired in
         input order as each result becomes available (streaming under a
-        pool, per-task when serial). Lets callers fold results into
-        caches/memos without waiting for the whole map. If the pool
-        breaks mid-run the map restarts serially and the callback may
-        re-fire for early indices — keep it idempotent.
+        pool, per-task when serial). Fired exactly once per index, even
+        when a broken pool forces rescheduling or a serial fallback.
+    deadline:
+        Approximate per-task deadline in seconds. A task that has not
+        delivered within the deadline is abandoned with its pool and
+        rescheduled; after ``max_restarts`` reschedules it raises
+        :class:`repro.faults.TaskTimeoutError`. ``None`` disables.
+    max_restarts:
+        How many replacement pools may be started after crashes or
+        deadline abandonments before the remainder runs serially.
     """
     items = list(items)
     if seed is None:
@@ -131,36 +220,112 @@ def parallel_map(
         )
         children = root.spawn(len(items)) if items else []
         payloads = [(fn, item, child) for item, child in zip(items, children)]
-    def serial() -> List[R]:
-        results = []
-        for index, payload in enumerate(payloads):
-            result = _invoke(payload)
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
 
-    workers = min(effective_jobs(jobs), len(payloads))
-    global _POOL_BROKEN
-    if workers <= 1 or len(payloads) <= 1 or _POOL_BROKEN:
-        return serial()
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            results = []
-            for index, result in enumerate(
-                executor.map(_invoke, payloads, chunksize=chunksize)
-            ):
-                if on_result is not None:
-                    on_result(index, result)
-                results.append(result)
-            return results
-    except (OSError, PermissionError, BrokenProcessPool, ImportError) as exc:
-        # Pool start-up (or the pool itself) failed — not a task error.
-        # Task errors are ordinary exceptions and propagate above.
-        _POOL_BROKEN = True
+    total = len(payloads)
+    results: Dict[int, R] = {}
+    emitted = 0
+
+    def deliver(index: int, value: R) -> None:
+        nonlocal emitted
+        if index in results:
+            return
+        results[index] = value
+        while emitted in results:
+            if on_result is not None:
+                on_result(emitted, results[emitted])
+            emitted += 1
+
+    def run_serial() -> None:
+        # Resumes from the first unfinished index: results already
+        # delivered by a pool incarnation are reused, never recomputed,
+        # and on_result does not re-fire for them.
+        for index in range(total):
+            if index not in results:
+                deliver(index, _invoke(payloads[index]))
+
+    workers = min(effective_jobs(jobs), total)
+    if workers <= 1 or total <= 1 or _pool_unavailable():
+        run_serial()
+        return [results[i] for i in range(total)]
+
+    timeout_counts: Dict[int, int] = {}
+    round_ = 0
+    while round_ <= max_restarts:
+        pending = [i for i in range(total) if i not in results]
+        if not pending:
+            break
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            )
+        except (OSError, PermissionError, ImportError) as exc:
+            _note_pool_failure()
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            run_serial()
+            return [results[i] for i in range(total)]
+        broken = False
+        try:
+            future_of: Dict[int, Future] = {}
+            for start in range(0, len(pending), max(1, chunksize)):
+                chunk = pending[start : start + max(1, chunksize)]
+                future = executor.submit(
+                    _run_chunk, [(i, round_, payloads[i]) for i in chunk]
+                )
+                for i in chunk:
+                    future_of[i] = future
+            for i in pending:
+                if i in results:
+                    continue
+                future = future_of[i]
+                try:
+                    pairs = future.result(timeout=deadline)
+                except FuturesTimeout:
+                    if future.done():
+                        # The task itself raised TimeoutError — a task
+                        # error, not a deadline expiry.
+                        raise
+                    timeout_counts[i] = timeout_counts.get(i, 0) + 1
+                    if timeout_counts[i] > max_restarts:
+                        raise TaskTimeoutError(
+                            f"task {i} exceeded its {deadline:g}s deadline "
+                            f"in {timeout_counts[i]} pool(s)"
+                        ) from None
+                    broken = True
+                    break
+                for j, value in pairs:
+                    deliver(j, value)
+        except BrokenProcessPool:
+            # A worker died; everything delivered so far is kept and only
+            # the unfinished payloads are rescheduled next round.
+            broken = True
+        except (OSError, PermissionError, ImportError):
+            # Pool plumbing failed mid-flight (or a task raised OSError):
+            # cool the pool down and finish serially — the serial replay
+            # recomputes only unfinished tasks, so a genuine task error
+            # re-raises unchanged.
+            _note_pool_failure()
+            warnings.warn(
+                "process pool failed mid-run; finishing serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            run_serial()
+            return [results[i] for i in range(total)]
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if not broken:
+            break
+        round_ += 1
+    if any(i not in results for i in range(total)):
         warnings.warn(
-            f"process pool unavailable ({exc!r}); running serially",
+            f"process pool broke {max_restarts + 1} time(s); finishing "
+            "the remaining tasks serially",
             RuntimeWarning,
             stacklevel=2,
         )
-        return serial()
+        run_serial()
+    return [results[i] for i in range(total)]

@@ -30,9 +30,11 @@ from .campaign import (
     CampaignInterrupted,
     CampaignResult,
     CampaignRunner,
+    UnitQuarantined,
     campaign,
     checkpoint_unit,
     current_campaign,
+    prune_for_retry,
 )
 
 __all__ = [
@@ -50,7 +52,9 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CampaignRunner",
+    "UnitQuarantined",
     "campaign",
     "checkpoint_unit",
     "current_campaign",
+    "prune_for_retry",
 ]

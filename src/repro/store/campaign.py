@@ -20,7 +20,20 @@ Worker processes: :func:`campaign` exports the active store root through
 the store. Workers append the keys they touch to a per-run sidecar log
 (line-append writes are atomic for these sizes), which the parent folds
 into the manifest at finalisation so ``repro runs gc`` never collects
-units a manifest should own.
+units a manifest should own. Quarantines and degradations inside workers
+travel through the same sidecar as tagged ``FAILED``/``DEGRADED`` lines.
+
+Failure model: a unit whose builder raises a *transient* error (see
+:func:`repro.faults.classify_exception`) after the lower layers' retry
+budgets are exhausted is **quarantined** — recorded in the manifest's
+``failed_units`` with the captured exception, surfaced to the driver as
+:class:`UnitQuarantined` — and the campaign continues with the remaining
+units/targets instead of aborting. Units computed in a degraded mode
+(hardware emulation fell back to plain simulation) are recorded in
+``degraded_units`` and their payloads are *not* checkpointed, so degraded
+data can never silently satisfy a later resume. ``repro runs retry``
+re-executes exactly the quarantined/degraded units; everything that had
+succeeded resumes byte-identically from the store.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Dict, Iterator, Optional, Sequence
 
+from ..faults import classify_exception, degradation_events
 from .core import ArtifactStore, config_digest
 from .manifest import RunManifest, load_manifest, save_manifest
 
@@ -40,9 +54,11 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CampaignRunner",
+    "UnitQuarantined",
     "campaign",
     "checkpoint_unit",
     "current_campaign",
+    "prune_for_retry",
 ]
 
 #: Exported for worker processes: the active store root / units sidecar.
@@ -68,6 +84,28 @@ class CampaignInterrupted(RuntimeError):
         )
         self.run_id = run_id
         self.units_computed = units_computed
+
+
+class UnitQuarantined(RuntimeError):
+    """A unit's builder failed transiently even after retries.
+
+    The unit is recorded in the manifest's ``failed_units`` (no payload is
+    stored) and this exception surfaces to the driver, which may skip the
+    unit and assemble a partial result, or let it propagate — in which
+    case the :class:`CampaignRunner` records the target as partial and
+    moves on to the next one.
+
+    ``args`` is exactly ``(key, error)`` so instances survive the pickle
+    round-trip out of pool worker processes.
+    """
+
+    def __init__(self, key: str, error: str) -> None:
+        super().__init__(key, error)
+        self.key = key
+        self.error = error
+
+    def __str__(self) -> str:
+        return f"unit {self.key[:12]} quarantined: {self.error}"
 
 
 def _collect_provenance(manifest: RunManifest, config: dict) -> None:
@@ -127,11 +165,40 @@ class CampaignContext:
             raise CampaignInterrupted(
                 self.manifest.run_id, self.manifest.units_computed
             )
-        payload = builder()
-        self.store.put_payload(config, payload, key=key)
+        mark = len(degradation_events())
+        try:
+            payload = builder()
+        except UnitQuarantined:
+            raise
+        except Exception as exc:
+            raise self._quarantine(key, exc) from exc
+        reasons = sorted({r for _, r in degradation_events()[mark:]})
+        if reasons:
+            # Degraded results are returned for this run but never
+            # checkpointed — a resume must recompute them faithfully.
+            self.manifest.units_computed += 1
+            self.manifest.degraded_units[key] = "; ".join(reasons)
+            self._note(key)
+            return payload
+        try:
+            self.store.put_payload(config, payload, key=key)
+        except Exception as exc:
+            # The unit computed but could not be persisted: without a
+            # checkpoint a resume cannot vouch for it, so it quarantines
+            # exactly like a builder failure.
+            raise self._quarantine(key, exc) from exc
         self.manifest.units_computed += 1
         self._note(key)
         return payload
+
+    def _quarantine(self, key: str, exc: Exception) -> "UnitQuarantined":
+        """Record a transiently-failed unit; fatal errors re-raise as-is."""
+        if classify_exception(exc) == "fatal":
+            raise exc
+        error = f"{type(exc).__name__}: {exc}"
+        self.manifest.failed_units[key] = error
+        self._flush()
+        return UnitQuarantined(key, error)
 
     def _note(self, key: str) -> None:
         if key not in self.manifest.unit_keys:
@@ -147,26 +214,52 @@ class _WorkerCheckpointer:
     """Store-only checkpointing inside ``parallel_map`` worker processes.
 
     Reconstructed from the environment; owns no manifest. Keys are logged
-    to the parent's sidecar so the finalised manifest references them.
+    to the parent's sidecar so the finalised manifest references them;
+    quarantines and degradations travel as tagged ``FAILED``/``DEGRADED``
+    lines the parent merges at finalisation.
     """
 
     def __init__(self, store: ArtifactStore, units_log: Optional[str]) -> None:
         self.store = store
         self.units_log = units_log
 
+    def _log(self, line: str) -> None:
+        if not self.units_log:
+            return
+        try:
+            with open(self.units_log, "a") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            pass
+
     def unit(self, config: dict, builder: Callable[[], object]):
         key = config_digest(config)
         payload = self.store.get_payload(key)
         if payload is None:
-            payload = builder()
-            self.store.put_payload(config, payload, key=key)
-        if self.units_log:
+            mark = len(degradation_events())
             try:
-                with open(self.units_log, "a") as fh:
-                    fh.write(key + "\n")
-            except OSError:
-                pass
+                payload = builder()
+            except UnitQuarantined:
+                raise
+            except Exception as exc:
+                raise self._quarantine(key, exc) from exc
+            reasons = sorted({r for _, r in degradation_events()[mark:]})
+            if reasons:
+                self._log(f"DEGRADED\t{key}\t" + "; ".join(reasons))
+                return payload
+            try:
+                self.store.put_payload(config, payload, key=key)
+            except Exception as exc:
+                raise self._quarantine(key, exc) from exc
+        self._log(key)
         return payload
+
+    def _quarantine(self, key: str, exc: Exception) -> UnitQuarantined:
+        if classify_exception(exc) == "fatal":
+            raise exc
+        error = f"{type(exc).__name__}: {exc}"
+        self._log(f"FAILED\t{key}\t{error}")
+        return UnitQuarantined(key, error)
 
 
 def current_campaign():
@@ -203,15 +296,24 @@ def _units_log_path(store: ArtifactStore, run_id: str) -> str:
 
 
 def _merge_worker_units(store: ArtifactStore, manifest: RunManifest) -> None:
+    """Fold the worker sidecar into the manifest (keys, failures, degradations)."""
     path = _units_log_path(store, manifest.run_id)
     try:
         with open(path) as fh:
-            keys = [line.strip() for line in fh if line.strip()]
+            lines = [line.strip() for line in fh if line.strip()]
     except OSError:
         return
-    for key in keys:
-        if key not in manifest.unit_keys:
-            manifest.unit_keys.append(key)
+    for line in lines:
+        if line.startswith("FAILED\t"):
+            _tag, _, rest = line.partition("\t")
+            key, _, error = rest.partition("\t")
+            manifest.failed_units.setdefault(key, error or "worker failure")
+        elif line.startswith("DEGRADED\t"):
+            _tag, _, rest = line.partition("\t")
+            key, _, reason = rest.partition("\t")
+            manifest.degraded_units.setdefault(key, reason or "degraded")
+        elif line not in manifest.unit_keys:
+            manifest.unit_keys.append(line)
     try:
         os.unlink(path)
     except OSError:
@@ -258,12 +360,19 @@ def campaign(
     except CampaignInterrupted:
         manifest.status = "interrupted"
         raise
+    except UnitQuarantined as exc:
+        # A quarantined unit escaped the driver: the run is partial, the
+        # completed units stay checkpointed, and a retry finishes the job.
+        manifest.status = "partial"
+        manifest.error = str(exc)
+        raise
     except BaseException as exc:
-        manifest.status = "failed"
+        if isinstance(exc, Exception) and classify_exception(exc) == "transient":
+            manifest.status = "partial"
+        else:
+            manifest.status = "failed"
         manifest.error = f"{type(exc).__name__}: {exc}"
         raise
-    else:
-        manifest.status = "complete"
     finally:
         _ACTIVE.reset(token)
         for key, value in prev_env.items():
@@ -272,6 +381,14 @@ def campaign(
             else:
                 os.environ[key] = value
         _merge_worker_units(store, manifest)
+        if manifest.status == "running":
+            # Clean exit: complete, unless units were quarantined or
+            # degraded along the way (worker sidecars included).
+            manifest.status = (
+                "partial"
+                if manifest.failed_units or manifest.degraded_units
+                else "complete"
+            )
         ctx._flush()
 
 
@@ -292,14 +409,23 @@ class CampaignResult:
     def interrupted(self) -> bool:
         return self.manifest.status == "interrupted"
 
+    @property
+    def partial(self) -> bool:
+        return self.manifest.status == "partial"
+
     def summary(self) -> str:
         m = self.manifest
-        return (
+        text = (
             f"[campaign] {self.name}: run {m.run_id} {m.status} — "
             f"{m.units_computed} unit(s) computed, "
             f"{m.units_cached} skipped (checkpointed), "
             f"wall {m.wall_time:.1f}s"
         )
+        if m.failed_units:
+            text += f", {len(m.failed_units)} quarantined"
+        if m.degraded_units:
+            text += f", {len(m.degraded_units)} degraded"
+        return text
 
 
 class CampaignRunner:
@@ -376,6 +502,37 @@ class CampaignRunner:
                     CampaignResult(name, ctx.manifest, None, "")
                 )
                 break
+            except UnitQuarantined:
+                # The driver could not assemble a result without the
+                # quarantined unit(s): record the target as partial and
+                # move on — the remaining targets are independent.
+                results.append(
+                    CampaignResult(name, ctx.manifest, None, "")
+                )
+                continue
+            except Exception as exc:
+                if classify_exception(exc) == "fatal":
+                    raise
+                results.append(
+                    CampaignResult(name, ctx.manifest, None, "")
+                )
+                continue
             text = result if isinstance(result, str) else result.rows()
             results.append(CampaignResult(name, ctx.manifest, result, text))
         return results
+
+
+def prune_for_retry(store: ArtifactStore, manifest: RunManifest) -> int:
+    """Drop quarantined/degraded units' store objects before a retry.
+
+    Quarantined units never stored a payload and degraded units are never
+    checkpointed, so normally there is nothing to remove — this is a
+    defensive sweep against store objects written by other runs of the
+    same config (which a retry must recompute, not silently reuse when
+    the point of the retry is to replace suspect data). Returns how many
+    objects were removed.
+    """
+    removed = 0
+    for key in (*manifest.failed_units, *manifest.degraded_units):
+        removed += store.remove_object(key)
+    return removed

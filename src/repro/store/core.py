@@ -33,6 +33,8 @@ from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..faults import active_plan, record_activation, retrying
+from ..faults.errors import TornWriteError
 from ..utils.cache import atomic_write_json, read_json
 
 __all__ = [
@@ -46,6 +48,10 @@ __all__ = [
 
 #: Environment variable naming the default store root.
 STORE_ENV = "REPRO_STORE"
+
+#: Retry policy for object writes: a torn or failed write is transient —
+#: readers treat torn objects as misses, so rewriting is always safe.
+_WRITE_RETRY = retrying(attempts=4, base_delay=0.02, max_delay=0.5)
 
 
 def canonical_config(obj):
@@ -132,7 +138,13 @@ class ArtifactStore:
 
     # -- JSON objects --------------------------------------------------
     def put_payload(self, config, payload, *, key: Optional[str] = None) -> str:
-        """Store ``payload`` under its config's digest; returns the key."""
+        """Store ``payload`` under its config's digest; returns the key.
+
+        Writes are retried under :data:`_WRITE_RETRY`: a failed or torn
+        attempt (including injected ``store`` faults, which leave genuinely
+        corrupt bytes behind) is rewritten atomically over the wreckage.
+        Only an exhausted retry budget raises.
+        """
         key = key or config_digest(config)
         path = self.object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -141,8 +153,27 @@ class ArtifactStore:
             "config": canonical_config(config),
             "payload": payload,
         }
-        if not atomic_write_json(path, envelope, sort_keys=True):
-            raise OSError(f"cannot write store object {path}")
+
+        def write(attempt: int) -> None:
+            plan = active_plan()
+            if plan is not None and plan.should_fire(
+                "store", f"store:{key}", attempt
+            ):
+                record_activation("store", f"store:{key}")
+                # A torn write: corrupt bytes land where the object
+                # belongs (readers see a miss) and the writer errors out.
+                try:
+                    path.write_text('{"key": "' + key[:13])
+                except OSError:
+                    pass
+                raise TornWriteError(
+                    f"injected torn write for object {key[:12]} "
+                    f"(attempt {attempt})"
+                )
+            if not atomic_write_json(path, envelope, sort_keys=True):
+                raise OSError(f"cannot write store object {path}")
+
+        _WRITE_RETRY.call(write)
         return key
 
     def get_object(self, config_or_key) -> Optional[dict]:

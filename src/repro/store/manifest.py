@@ -21,7 +21,7 @@ import subprocess
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..utils.cache import atomic_write_json, read_json
 from .core import ArtifactStore
@@ -34,13 +34,36 @@ __all__ = [
     "list_runs",
 ]
 
-MANIFEST_SCHEMA = 1
+MANIFEST_SCHEMA = 2
 
-#: Manifest lifecycle states ("corrupt" is synthesised at load time).
-STATUSES = ("running", "complete", "interrupted", "failed", "corrupt")
+#: Manifest lifecycle states ("corrupt" is synthesised at load time;
+#: "partial" means completed with quarantined units — see ``failed_units``).
+STATUSES = (
+    "running",
+    "complete",
+    "partial",
+    "interrupted",
+    "failed",
+    "corrupt",
+)
+
+#: Per-process cache for the git commit probe: manifests are re-written at
+#: every unit checkpoint, and shelling out to ``git rev-parse`` (with its
+#: 5 s timeout) per checkpoint stalls campaigns whenever subprocess spawns
+#: are slow. ``False`` means "not probed yet" (``None`` is a valid result).
+_GIT_COMMIT_CACHE: Union[Optional[str], bool] = False
+
+
+def _reset_code_version_cache() -> None:
+    """Forget the cached git probe (tests only)."""
+    global _GIT_COMMIT_CACHE
+    _GIT_COMMIT_CACHE = False
 
 
 def _git_commit() -> Optional[str]:
+    global _GIT_COMMIT_CACHE
+    if _GIT_COMMIT_CACHE is not False:
+        return _GIT_COMMIT_CACHE
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -50,13 +73,19 @@ def _git_commit() -> Optional[str]:
             timeout=5,
         )
     except (OSError, subprocess.SubprocessError):
+        _GIT_COMMIT_CACHE = None
         return None
     sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else None
+    _GIT_COMMIT_CACHE = sha if out.returncode == 0 and sha else None
+    return _GIT_COMMIT_CACHE
 
 
 def code_version() -> Dict[str, Optional[str]]:
-    """The code provenance stamped into every manifest."""
+    """The code provenance stamped into every manifest.
+
+    Returns a fresh dict per call (manifests mutate their copy), but the
+    underlying git probe runs once per process.
+    """
     from .. import __version__
 
     return {"package": __version__, "git": _git_commit()}
@@ -80,6 +109,13 @@ class RunManifest:
     units_computed: int = 0
     units_cached: int = 0
     unit_keys: List[str] = field(default_factory=list)
+    #: Quarantined units: unit key -> captured exception text. These units
+    #: have no stored payload; ``repro runs retry`` re-executes only them.
+    failed_units: Dict[str, str] = field(default_factory=dict)
+    #: Units computed in a degraded execution mode (e.g. plain noise-model
+    #: simulation instead of hardware emulation): key -> reason. Degraded
+    #: payloads are never checkpointed, so a retry recomputes them.
+    degraded_units: Dict[str, str] = field(default_factory=dict)
     artifacts: Dict[str, str] = field(default_factory=dict)
     error: Optional[str] = None
     schema: int = MANIFEST_SCHEMA

@@ -17,6 +17,10 @@ Subcommands (all operate on the store resolved from ``--store`` /
     Refuses to collect while corrupt manifests exist (their references
     are unknown) unless ``--force`` is given, which also deletes the
     corrupt manifests themselves. ``--dry-run`` reports without deleting.
+``retry <run_id>``
+    Re-execute exactly a run's quarantined/degraded units (handled by
+    :mod:`repro.cli`, which owns the experiment registry; listed here for
+    discoverability).
 """
 
 from __future__ import annotations
@@ -31,7 +35,12 @@ __all__ = ["runs_main", "diff_payloads"]
 
 
 def _fmt_units(m: RunManifest) -> str:
-    return f"{m.units_computed}+{m.units_cached}c"
+    text = f"{m.units_computed}+{m.units_cached}c"
+    if m.failed_units:
+        text += f" !{len(m.failed_units)}"
+    if m.degraded_units:
+        text += f" ~{len(m.degraded_units)}"
+    return text
 
 
 def _cmd_list(store: ArtifactStore, out: Callable[[str], None]) -> int:
@@ -54,6 +63,13 @@ def _cmd_list(store: ArtifactStore, out: Callable[[str], None]) -> int:
             f"warning: {len(corrupt)} corrupt manifest(s) "
             f"({', '.join(m.run_id for m in corrupt)}) — checkpointed units "
             "are still resumable; 'repro runs gc --force' removes the stubs"
+        )
+    partial = [m for m in manifests if m.failed_units or m.degraded_units]
+    if partial:
+        out(
+            f"note: {len(partial)} run(s) with quarantined (!) or degraded "
+            "(~) units; 'repro runs retry <run_id>' re-executes exactly "
+            "those units"
         )
     return 0
 
@@ -198,7 +214,7 @@ def runs_main(
 ) -> int:
     """Entry point for ``repro runs <action> [args]``; returns exit code."""
     if not argv:
-        out("usage: repro runs {list|show <run_id>|diff <a> <b>|gc [--dry-run] [--force]}")
+        out("usage: repro runs {list|show <run_id>|diff <a> <b>|retry <run_id>|gc [--dry-run] [--force]}")
         return 2
     action, args = argv[0], argv[1:]
     if action == "list" and not args:
@@ -212,5 +228,5 @@ def runs_main(
             store, out, dry_run="--dry-run" in args, force="--force" in args
         )
     out(f"error: unknown runs action {' '.join(argv)!r}")
-    out("usage: repro runs {list|show <run_id>|diff <a> <b>|gc [--dry-run] [--force]}")
+    out("usage: repro runs {list|show <run_id>|diff <a> <b>|retry <run_id>|gc [--dry-run] [--force]}")
     return 2

@@ -20,6 +20,27 @@ from repro.utils.cache import seed_cache  # noqa: E402
 seed_cache(Path(__file__).parent / "fixtures" / "repro_cache")
 
 
+@pytest.fixture(autouse=True)
+def _isolate_faults_env():
+    """Contain fault-injection state: the CLI exports ``REPRO_FAULTS`` /
+    ``REPRO_FAULTS_LOG`` into the process environment (worker processes
+    inherit them), so restore both and drop the in-process activation and
+    degradation records after every test."""
+    saved = {
+        key: os.environ.get(key) for key in ("REPRO_FAULTS", "REPRO_FAULTS_LOG")
+    }
+    yield
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    from repro.faults import reset_activations, reset_degradations
+
+    reset_activations()
+    reset_degradations()
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -5,16 +5,19 @@ import os
 
 import pytest
 
-from repro.cli import EXIT_INTERRUPTED, main
+from repro.cli import EXIT_INTERRUPTED, EXIT_PARTIAL, main
+from repro.faults import TransientError, note_degradation
 from repro.store import (
     ArtifactStore,
     CampaignInterrupted,
+    UnitQuarantined,
     campaign,
     checkpoint_unit,
     config_digest,
     current_campaign,
     list_runs,
     load_manifest,
+    prune_for_retry,
 )
 from repro.store.campaign import ACTIVE_ENV, UNITS_LOG_ENV
 from repro.store.manifest import manifest_path
@@ -135,6 +138,131 @@ class TestCheckpointUnit:
         assert ACTIVE_ENV not in os.environ
 
 
+class TestQuarantine:
+    def test_transient_builder_failure_quarantines(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with campaign(
+            store, experiment="exp", scale="smoke", run_id="run-q"
+        ) as ctx:
+            checkpoint_unit({"kind": "ok"}, lambda: {"v": 1})
+            with pytest.raises(UnitQuarantined) as info:
+                checkpoint_unit(
+                    {"kind": "sick"},
+                    lambda: (_ for _ in ()).throw(TransientError("queue lost job")),
+                )
+            checkpoint_unit({"kind": "ok2"}, lambda: {"v": 2})
+        key = config_digest({"kind": "sick"})
+        assert info.value.key == key
+        manifest = ctx.manifest
+        assert manifest.status == "partial"
+        assert manifest.failed_units == {key: "TransientError: queue lost job"}
+        assert manifest.units_computed == 2  # the healthy units completed
+        assert not store.has(key)  # no payload for the quarantined unit
+        # The manifest round-trips through disk with the failure intact.
+        loaded = load_manifest(store, "run-q")
+        assert loaded.status == "partial"
+        assert loaded.failed_units == manifest.failed_units
+
+    def test_fatal_builder_failure_propagates(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError, match="bad config"):
+            with campaign(
+                store, experiment="exp", scale="smoke", run_id="run-fatal"
+            ):
+                checkpoint_unit(
+                    {"kind": "sick"},
+                    lambda: (_ for _ in ()).throw(ValueError("bad config")),
+                )
+        manifest = load_manifest(store, "run-fatal")
+        assert manifest.status == "failed"
+        assert manifest.failed_units == {}
+
+    def test_escaped_quarantine_marks_run_partial(self, tmp_path):
+        """A driver that cannot continue re-raises; the run stays partial."""
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(UnitQuarantined):
+            with campaign(
+                store, experiment="exp", scale="smoke", run_id="run-esc"
+            ):
+                checkpoint_unit(
+                    {"kind": "sick"},
+                    lambda: (_ for _ in ()).throw(TransientError("gone")),
+                )
+        manifest = load_manifest(store, "run-esc")
+        assert manifest.status == "partial"
+        assert len(manifest.failed_units) == 1
+
+    def test_quarantined_unit_recomputes_on_retry(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        attempts = []
+
+        def run(healthy):
+            with campaign(
+                store, experiment="exp", scale="smoke", run_id="run-r"
+            ) as ctx:
+                try:
+                    checkpoint_unit(
+                        {"kind": "flaky"},
+                        lambda: attempts.append(1) or (
+                            {"v": 7}
+                            if healthy
+                            else (_ for _ in ()).throw(TransientError("down"))
+                        ),
+                    )
+                except UnitQuarantined:
+                    pass
+            return ctx.manifest
+
+        first = run(healthy=False)
+        assert first.status == "partial" and len(attempts) == 1
+        assert prune_for_retry(store, first) == 0  # nothing was stored
+        second = run(healthy=True)
+        assert second.status == "complete" and len(attempts) == 2
+        assert store.get_payload({"kind": "flaky"}) == {"v": 7}
+
+
+class TestDegradation:
+    def test_degraded_unit_flagged_and_not_checkpointed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+
+        def degraded_builder():
+            note_degradation("fake_dev:job0", "fell back to plain simulation")
+            return {"v": 1}
+
+        with campaign(
+            store, experiment="exp", scale="smoke", run_id="run-d"
+        ) as ctx:
+            out = checkpoint_unit({"kind": "deg"}, degraded_builder)
+        assert out == {"v": 1}  # the degraded result is still returned
+        manifest = ctx.manifest
+        assert manifest.status == "partial"
+        key = config_digest({"kind": "deg"})
+        assert "plain simulation" in manifest.degraded_units[key]
+        assert not store.has(key)  # never written: a resume must recompute
+        loaded = load_manifest(store, "run-d")
+        assert loaded.degraded_units == manifest.degraded_units
+
+
+class TestWorkerSidecarMerge:
+    def test_tagged_lines_fold_into_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with campaign(
+            store, experiment="exp", scale="smoke", run_id="run-m"
+        ) as ctx:
+            checkpoint_unit({"kind": "parent"}, lambda: {})
+            # Simulate worker processes reporting through the sidecar.
+            with open(os.environ[UNITS_LOG_ENV], "a") as fh:
+                fh.write("aaaa1111\n")
+                fh.write("bbbb2222\tFAILED-looking-but-plain\n".replace("\t", " "))
+                fh.write("FAILED\tcccc3333\tTransientError: worker lost it\n")
+                fh.write("DEGRADED\tdddd4444\tsimulated instead\n")
+        manifest = ctx.manifest
+        assert "aaaa1111" in manifest.unit_keys
+        assert manifest.failed_units["cccc3333"] == "TransientError: worker lost it"
+        assert manifest.degraded_units["dddd4444"] == "simulated instead"
+        assert manifest.status == "partial"
+
+
 def _fig02(store_dir, out_dir, *extra):
     argv = ["fig02", "--scale", "smoke", "--store", str(store_dir)]
     if out_dir is not None:
@@ -233,3 +361,60 @@ class TestResumableCLI:
         assert main(["fig16", "--scale", "smoke"]) == 0
         assert "[campaign] fig16" in capsys.readouterr().out
         assert (tmp_path / "env-store" / "runs").is_dir()
+
+
+class TestFaultedCLI:
+    def test_invalid_faults_spec_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(
+                ["fig16", "--store", str(tmp_path), "--faults", "frob=1"]
+            )
+        assert info.value.code == 2
+
+    def test_fault_campaign_retry_byte_identical(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The acceptance scenario: a fault-injected figure campaign ends
+        with quarantined units and exit 4; ``runs retry`` (faults off)
+        re-executes only those units and the final artifact is
+        byte-identical to a fault-free run's."""
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        store, out_dir = tmp_path / "s", tmp_path / "out"
+
+        code = _fig02(
+            store, None, "--run-id", "faulted", "--faults", "seed=3,store=1"
+        )
+        assert code == EXIT_PARTIAL
+        text = capsys.readouterr().out
+        assert "quarantined" in text and "runs retry faulted" in text
+        assert "[faults] activations" in text
+        assert (store / "faults.log").read_text().strip()  # faults fired
+        manifest = load_manifest(ArtifactStore(store), "faulted")
+        assert manifest.status == "partial"
+        assert len(manifest.failed_units) == 5  # every smoke-scale step
+
+        # Retry with injection off: quarantined units recompute cleanly.
+        os.environ.pop("REPRO_FAULTS", None)
+        os.environ.pop("REPRO_FAULTS_LOG", None)
+        code = main(
+            ["runs", "retry", "faulted", "--store", str(store),
+             "--output", str(out_dir)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        retried = load_manifest(ArtifactStore(store), "faulted")
+        assert retried.status == "complete"
+        assert retried.failed_units == {}
+
+        clean_store, clean_out = tmp_path / "c", tmp_path / "outc"
+        assert _fig02(clean_store, clean_out) == 0
+        capsys.readouterr()
+        assert (out_dir / "fig02.json").read_bytes() == (
+            clean_out / "fig02.json"
+        ).read_bytes()
+
+    def test_retry_unknown_run_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(["runs", "retry", "nope", "--store", str(tmp_path)])
+        assert info.value.code == 2

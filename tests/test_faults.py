@@ -1,0 +1,289 @@
+"""Deterministic fault injection, retry policies and resilient execution."""
+
+import subprocess
+
+import pytest
+
+from repro.faults import (
+    CalibrationDriftError,
+    CircuitBreaker,
+    FaultPlan,
+    JobFailedError,
+    SubmissionTimeout,
+    TornWriteError,
+    TransientError,
+    activation_counts,
+    active_plan,
+    classify_exception,
+    maybe_inject,
+    reset_activations,
+    retrying,
+)
+from repro.store import ArtifactStore
+from repro.store.manifest import (
+    _reset_code_version_cache,
+    code_version,
+)
+
+
+class TestFaultPlanGrammar:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=11,job=0.4,timeout=0.1,drift=0.1,crash=0.5,store=0.6,degrade=1"
+        )
+        assert plan.seed == 11
+        assert plan.rates == {
+            "job": 0.4, "timeout": 0.1, "drift": 0.1, "crash": 0.5, "store": 0.6
+        }
+        assert plan.degrade is True
+
+    def test_defaults(self):
+        plan = FaultPlan.parse("")
+        assert plan.seed == 0 and plan.rates == {} and plan.degrade is False
+
+    def test_format_round_trips(self):
+        spec = "seed=3,crash=0.5,job=0.25,degrade=1"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.format()) == plan
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["job", "job=2", "store=-0.1", "frobnicate=0.5", "seed=x"],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+
+class TestFaultPlanDraws:
+    def test_draw_is_deterministic_and_uniform_range(self):
+        plan = FaultPlan(seed=7, rates={"job": 0.5})
+        draws = [plan.draw("job", f"site{i}") for i in range(50)]
+        assert draws == [plan.draw("job", f"site{i}") for i in range(50)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert len(set(draws)) == len(draws)  # sites decorrelated
+
+    def test_attempt_coordinate_redraws(self):
+        plan = FaultPlan(seed=7, rates={"job": 0.5})
+        assert plan.draw("job", "s", 0) != plan.draw("job", "s", 1)
+
+    def test_seed_changes_schedule(self):
+        a = FaultPlan(seed=1, rates={"job": 0.5})
+        b = FaultPlan(seed=2, rates={"job": 0.5})
+        fired_a = [a.should_fire("job", f"s{i}") for i in range(64)]
+        fired_b = [b.should_fire("job", f"s{i}") for i in range(64)]
+        assert fired_a != fired_b
+
+    def test_rate_edges(self):
+        always = FaultPlan(rates={"job": 1.0})
+        never = FaultPlan(rates={"job": 0.0})
+        assert all(always.should_fire("job", f"s{i}") for i in range(20))
+        assert not any(never.should_fire("job", f"s{i}") for i in range(20))
+        # Unconfigured kinds never fire.
+        assert not always.should_fire("store", "s0")
+
+    def test_active_plan_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert active_plan() is None
+        monkeypatch.setenv("REPRO_FAULTS", "seed=5,job=0.5")
+        plan = active_plan()
+        assert plan is not None and plan.seed == 5
+        monkeypatch.setenv("REPRO_FAULTS", "seed=6")
+        assert active_plan().seed == 6  # cache keyed by spec text
+
+
+class TestInjection:
+    def test_maybe_inject_raises_kind_errors(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "job=1,timeout=1,drift=1,store=1"
+        )
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        for kind, error in [
+            ("job", JobFailedError),
+            ("timeout", SubmissionTimeout),
+            ("drift", CalibrationDriftError),
+            ("store", TornWriteError),
+        ]:
+            with pytest.raises(error):
+                maybe_inject(kind, "site")
+
+    def test_activations_recorded_in_process_and_log(self, monkeypatch, tmp_path):
+        log = tmp_path / "faults.log"
+        monkeypatch.setenv("REPRO_FAULTS", "job=1")
+        monkeypatch.setenv("REPRO_FAULTS_LOG", str(log))
+        reset_activations()
+        for i in range(3):
+            with pytest.raises(JobFailedError):
+                maybe_inject("job", f"site{i}")
+        assert activation_counts() == {"job": 3}
+        assert activation_counts(str(log)) == {"job": 3}
+
+    def test_no_plan_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        maybe_inject("job", "site")  # must not raise
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TransientError("x"),
+            JobFailedError("x"),
+            TornWriteError("x"),
+            TimeoutError("x"),
+            ConnectionError("x"),
+            OSError("x"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert classify_exception(exc) == "transient"
+
+    @pytest.mark.parametrize(
+        "exc", [ValueError("x"), KeyError("x"), AssertionError("x")]
+    )
+    def test_fatal(self, exc):
+        assert classify_exception(exc) == "fatal"
+
+
+class TestRetrying:
+    def test_succeeds_after_transient_failures(self):
+        sleeps = []
+        policy = retrying(
+            attempts=4, base_delay=0.01, max_delay=0.1, sleep=sleeps.append
+        )
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientError(f"attempt {attempt}")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert calls == [0, 1, 2]
+        assert len(sleeps) == 2
+        assert all(0.01 <= d <= 0.1 for d in sleeps)
+
+    def test_budget_exhaustion_reraises_last(self):
+        sleeps = []
+        policy = retrying(attempts=3, base_delay=0, max_delay=0, sleep=sleeps.append)
+
+        def always(attempt):
+            raise TransientError(f"attempt {attempt}")
+
+        with pytest.raises(TransientError, match="attempt 2"):
+            policy.call(always)
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_fatal_raises_immediately(self):
+        sleeps = []
+        policy = retrying(attempts=5, sleep=sleeps.append)
+        calls = []
+
+        def fatal(attempt):
+            calls.append(attempt)
+            raise ValueError("bad input")
+
+        with pytest.raises(ValueError):
+            policy.call(fatal)
+        assert calls == [0] and sleeps == []
+
+    def test_decorrelated_jitter_bounds(self):
+        policy = retrying(attempts=10, base_delay=0.05, max_delay=1.0, sleep=lambda d: None)
+        previous = None
+        for _ in range(200):
+            delay = policy.next_delay(previous)
+            high = min(1.0, 3.0 * (previous if previous is not None else 0.05))
+            assert 0.05 <= delay <= max(high, 0.05)
+            previous = delay
+
+    def test_on_retry_observer(self):
+        seen = []
+        policy = retrying(
+            attempts=3,
+            base_delay=0,
+            max_delay=0,
+            sleep=lambda d: None,
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, str(exc))),
+        )
+
+        def flaky(attempt):
+            if attempt == 0:
+                raise TransientError("first")
+            return attempt
+
+        assert policy.call(flaky) == 1
+        assert seen == [(0, "first")]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            retrying(attempts=0)
+        with pytest.raises(ValueError):
+            retrying(base_delay=1.0, max_delay=0.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_resets(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert not breaker.open
+        breaker.record_failure(TransientError("a"))
+        assert not breaker.open
+        breaker.record_failure(TransientError("b"))
+        assert breaker.open
+        assert str(breaker.last_error) == "b"
+        breaker.record_success()
+        assert not breaker.open and breaker.last_error is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestStoreWriteFaults:
+    def test_torn_write_retries_through(self, tmp_path, monkeypatch):
+        """A sub-1.0 store rate tears some attempts; the retry rewrites.
+
+        Seed 3 is chosen so every unit's 4-attempt budget suffices (18
+        injected tears across the 8 units, none torn four times in a row).
+        """
+        monkeypatch.setenv("REPRO_FAULTS", "seed=3,store=0.5")
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        store = ArtifactStore(tmp_path)
+        for i in range(8):
+            config = {"kind": "t", "i": i}
+            key = store.put_payload(config, {"v": i})
+            assert store.get_payload(key) == {"v": i}
+
+    def test_hard_outage_exhausts_and_leaves_a_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,store=1")
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        store = ArtifactStore(tmp_path)
+        config = {"kind": "t"}
+        with pytest.raises(TornWriteError):
+            store.put_payload(config, {"v": 1})
+        # The torn bytes on disk read as a miss, not as corrupt data.
+        assert store.get_payload(config) is None
+        monkeypatch.delenv("REPRO_FAULTS")
+        key = store.put_payload(config, {"v": 1})
+        assert store.get_payload(key) == {"v": 1}
+
+
+class TestCodeVersionCache:
+    def test_git_probe_runs_once_per_process(self, monkeypatch):
+        calls = []
+        real_run = subprocess.run
+
+        def counting_run(*args, **kwargs):
+            calls.append(args)
+            return real_run(*args, **kwargs)
+
+        monkeypatch.setattr(subprocess, "run", counting_run)
+        _reset_code_version_cache()
+        first = code_version()
+        second = code_version()
+        assert len(calls) == 1
+        assert first == second
+        assert first is not second  # fresh dict per manifest
+        _reset_code_version_cache()
+        code_version()
+        assert len(calls) == 2

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.faults import TransientError, degradation_events, retrying
 from repro.hardware import FakeHardware, mapping_candidates, noise_report, paper_mappings
 from repro.metrics import total_variation_distance
 from repro.noise import get_device
@@ -72,6 +73,66 @@ class TestFakeHardware:
     def test_device_object_accepted(self):
         hw = FakeHardware(get_device("rome"), seed=1)
         assert hw.device.name == "rome"
+
+
+def _instant_retry(attempts=4):
+    return retrying(attempts=attempts, base_delay=0, max_delay=0, sleep=lambda d: None)
+
+
+class TestHardwareResilience:
+    def test_retried_jobs_are_bit_identical(self, monkeypatch):
+        """Faults fire before the shot sampler touches randomness, so a
+        job that succeeds after retries equals an unfaulted one exactly."""
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        clean = FakeHardware("rome", shots=512, seed=5, retry=_instant_retry())
+        baseline = [clean.run(ghz_circuit(2)) for _ in range(3)]
+
+        # job=0.5 at 4 attempts: every job eventually gets through (at
+        # seed=2 the first two jobs fail their first attempt and retry),
+        # so the comparison genuinely exercises the retry path.
+        from repro.faults import activation_counts, reset_activations
+
+        monkeypatch.setenv("REPRO_FAULTS", "seed=2,job=0.5")
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        reset_activations()
+        faulted = FakeHardware("rome", shots=512, seed=5, retry=_instant_retry())
+        out = [faulted.run(ghz_circuit(2)) for _ in range(3)]
+        assert activation_counts().get("job", 0) >= 2
+        for a, b in zip(baseline, out):
+            assert np.array_equal(a, b)
+
+    def test_hard_outage_propagates_without_degradation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=2,job=1")
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        hw = FakeHardware("rome", shots=512, seed=5, retry=_instant_retry())
+        with pytest.raises(TransientError):
+            hw.run(ghz_circuit(2))
+        assert not hw.degraded
+
+    def test_hard_outage_degrades_when_allowed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=2,job=1,degrade=1")
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        mark = len(degradation_events())
+        hw = FakeHardware("rome", shots=512, seed=5, retry=_instant_retry())
+        probs = hw.run(ghz_circuit(2))
+        assert hw.degraded
+        assert probs.sum() == pytest.approx(1.0)
+        events = degradation_events()[mark:]
+        assert events and "degraded" in events[0][1]
+        # Degraded output is the plain calibrated noise-model simulation:
+        # no drift, no crosstalk, no shot noise.
+        model = get_device("rome").noise_model(hw.qubits)
+        expected = DensityMatrixSimulator(model).probabilities(ghz_circuit(2))
+        assert np.allclose(probs, expected)
+
+    def test_allow_degraded_flag_overrides_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=2,job=1,degrade=1")
+        monkeypatch.delenv("REPRO_FAULTS_LOG", raising=False)
+        hw = FakeHardware(
+            "rome", shots=512, seed=5, retry=_instant_retry(), allow_degraded=False
+        )
+        with pytest.raises(TransientError):
+            hw.run(ghz_circuit(2))
 
 
 class TestMappings:

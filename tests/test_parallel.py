@@ -1,13 +1,22 @@
 """Process-pool fan-out: determinism, fallback, and driver integration."""
 
 import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.experiments import get_scale, tfim_pools
+from repro.faults import TaskTimeoutError
 from repro.noise import sweep_map
-from repro.parallel import effective_jobs, parallel_map, spawn_generators
+from repro.parallel import (
+    POOL_RETRY_COOLDOWN,
+    effective_jobs,
+    parallel_map,
+    reset_pool,
+    spawn_generators,
+)
+from repro.parallel import pool as pool_module
 
 
 # --- module-level workers (must be picklable for the pool path) -----------
@@ -26,6 +35,11 @@ def _boom(x):
 
 def _sweep_probe(level, model):
     return (level, model.name)
+
+
+def _sleepy(x):
+    time.sleep(5.0)
+    return x
 
 
 class TestEffectiveJobs:
@@ -87,6 +101,70 @@ class TestParallelMap:
         draws = [d for _, d in parallel_map(_draw, range(5), jobs=1, seed=7)]
         flat = [tuple(d) for d in draws]
         assert len(set(flat)) == len(flat)
+
+
+class TestCrashResilience:
+    CRASH_SPEC = "seed=5,crash=0.6"
+
+    def test_worker_crashes_rescheduled_deterministically(
+        self, monkeypatch, tmp_path
+    ):
+        """Injected worker deaths never change results or re-fire on_result."""
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        expected = parallel_map(_draw, range(8), jobs=1, seed=42)
+
+        log = tmp_path / "faults.log"
+        monkeypatch.setenv("REPRO_FAULTS", self.CRASH_SPEC)
+        monkeypatch.setenv("REPRO_FAULTS_LOG", str(log))
+        fired = []
+        out = parallel_map(
+            _draw,
+            range(8),
+            jobs=2,
+            seed=42,
+            on_result=lambda i, value: fired.append(i),
+        )
+        assert out == expected
+        assert fired == list(range(8))  # exactly once each, in order
+        # The schedule actually killed workers (the point of the test).
+        assert "crash" in log.read_text()
+
+    def test_crash_faults_ignored_when_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=5,crash=1")
+        assert parallel_map(_square, range(4), jobs=1) == [0, 1, 4, 9]
+
+
+class TestDeadlines:
+    def test_deadline_exhaustion_raises_task_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        with pytest.raises(TaskTimeoutError, match="deadline"):
+            parallel_map(
+                _sleepy, range(2), jobs=2, deadline=0.2, max_restarts=0
+            )
+
+    def test_fast_tasks_unaffected_by_deadline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        out = parallel_map(_square, range(6), jobs=2, deadline=30.0)
+        assert out == [x * x for x in range(6)]
+
+
+class TestPoolCooldown:
+    def test_failure_latches_then_expires(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "_POOL_FAILED_AT", time.monotonic())
+        assert pool_module._pool_unavailable()
+        # Inside the cooldown the map silently runs serial (same results).
+        assert parallel_map(_square, range(4), jobs=4) == [0, 1, 4, 9]
+        monkeypatch.setattr(
+            pool_module,
+            "_POOL_FAILED_AT",
+            time.monotonic() - POOL_RETRY_COOLDOWN - 1,
+        )
+        assert not pool_module._pool_unavailable()  # expired -> retried
+
+    def test_reset_pool_clears_latch(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "_POOL_FAILED_AT", time.monotonic())
+        reset_pool()
+        assert not pool_module._pool_unavailable()
 
 
 class TestSpawnGenerators:
