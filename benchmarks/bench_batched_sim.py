@@ -1,0 +1,130 @@
+"""Benchmark: compiled + batched density-matrix engine vs the serial path.
+
+Not a paper figure — tracks the perf claim of the batched dense engine on
+the paper's §6.2 sweep shape (figs. 8–10): the same TFIM circuit pool
+re-simulated under every ``PAPER_SWEEP_LEVELS`` CNOT-error level of the
+Ourense model. The serial baseline is the untouched
+``DensityMatrixSimulator`` loop (one full propagation per
+``(circuit, level)`` pair); the batched path compiles each circuit once
+and propagates all levels per pass via ``sweep_pool_distributions``.
+
+Run directly to (re)generate ``BENCH_sim_batched.json`` at the repository
+root so later changes can be compared against it::
+
+    PYTHONPATH=src python benchmarks/bench_batched_sim.py          # full
+    PYTHONPATH=src python benchmarks/bench_batched_sim.py --quick  # smoke
+
+Under pytest the quick measurement runs as an assertion: >= 4x speedup
+with <= 1e-12 max abs difference in every final distribution.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_ROOT = Path(__file__).resolve().parent.parent
+_OUT = _ROOT / "BENCH_sim_batched.json"
+
+_QUBITS = [0, 1, 2]
+_DEVICE = "ourense"
+
+#: Acceptance floor for the batched engine on the sweep workload.
+SPEEDUP_FLOOR = 4.0
+IDENTITY_ATOL = 1e-12
+
+
+def _workload(max_circuits=None):
+    """The fig08–10 pool: every 3q TFIM approximate circuit, all steps."""
+    from repro.experiments import tfim_pools
+    from repro.experiments.scale import get_scale
+    from repro.utils.cache import seed_cache
+
+    seed_cache(_ROOT / "tests" / "fixtures" / "repro_cache")
+    scale = get_scale()
+    circuits = [
+        c.circuit.without_measurements()
+        for _, pool in tfim_pools(3, scale=scale)
+        for c in pool
+    ]
+    if max_circuits is not None:
+        circuits = circuits[:max_circuits]
+    return scale.name, circuits
+
+
+def bench_sweep(max_circuits=None) -> dict:
+    """Serial vs batched wall-clock on the 5-level CNOT sweep workload."""
+    from repro.noise import PAPER_SWEEP_LEVELS, cnot_error_sweep
+    from repro.noise.sweep import sweep_pool_distributions
+    from repro.sim import DensityMatrixSimulator
+
+    scale_name, circuits = _workload(max_circuits)
+    models = cnot_error_sweep(_DEVICE, PAPER_SWEEP_LEVELS, qubits=_QUBITS)
+
+    # Warm every cache both paths share (gate matrices, channel superops,
+    # compiled noise lookups) outside the timers.
+    warm = circuits[:1]
+    for model in models:
+        DensityMatrixSimulator(model).probabilities(warm[0])
+    sweep_pool_distributions(
+        warm, _DEVICE, PAPER_SWEEP_LEVELS, qubits=_QUBITS
+    )
+
+    started = time.perf_counter()
+    serial = np.stack(
+        [
+            [
+                DensityMatrixSimulator(model).probabilities(circuit)
+                for circuit in circuits
+            ]
+            for model in models
+        ]
+    )
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = sweep_pool_distributions(
+        circuits, _DEVICE, PAPER_SWEEP_LEVELS, qubits=_QUBITS
+    )
+    batched_seconds = time.perf_counter() - started
+
+    max_abs_diff = float(np.max(np.abs(serial - batched)))
+    pairs = len(circuits) * len(models)
+    return {
+        "workload": "fig08-10 CNOT sweep (3q TFIM pool)",
+        "scale": scale_name,
+        "device": _DEVICE,
+        "levels": list(PAPER_SWEEP_LEVELS),
+        "circuits": len(circuits),
+        "pairs": pairs,
+        "serial": {
+            "seconds": round(serial_seconds, 4),
+            "pairs_per_sec": round(pairs / serial_seconds, 1),
+        },
+        "batched": {
+            "seconds": round(batched_seconds, 4),
+            "pairs_per_sec": round(pairs / batched_seconds, 1),
+        },
+        "speedup": round(serial_seconds / batched_seconds, 2),
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+def test_batched_sweep_speedup_and_identity():
+    result = bench_sweep(max_circuits=40)
+    assert result["max_abs_diff"] <= IDENTITY_ATOL
+    assert result["speedup"] >= SPEEDUP_FLOOR
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    payload = {"sweep": bench_sweep(max_circuits=40 if quick else None)}
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {_OUT}")
+
+
+if __name__ == "__main__":
+    main()

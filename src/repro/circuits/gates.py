@@ -13,12 +13,15 @@ Conventions
   two-qubit gate acting on ``(q0, q1)``, the basis ordering of the returned
   4x4 matrix is ``|q1 q0>`` = ``|00>, |01>, |10>, |11>`` where the *right*
   bit is ``q0``.
-* All matrices are ``complex128`` and freshly allocated (callers may mutate).
+* All matrices are ``complex128``, memoized and **read-only**: constant
+  gates are module-level frozen arrays, parametric builders are
+  ``lru_cache``-fronted per parameter tuple. Copy before mutating.
 """
 
 from __future__ import annotations
 
 import cmath
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Sequence, Tuple
@@ -86,10 +89,37 @@ def _mat(rows) -> np.ndarray:
     return np.array(rows, dtype=np.complex128)
 
 
+def _frozen(rows) -> np.ndarray:
+    """A read-only ``complex128`` array (shared safely between callers)."""
+    matrix = np.ascontiguousarray(rows, dtype=np.complex128)
+    matrix.setflags(write=False)
+    return matrix
+
+
+def _memoized(fn: Callable[[Tuple[float, ...]], np.ndarray]):
+    """Memoize a parametric matrix builder per parameter tuple.
+
+    The cached arrays are returned read-only so no caller can corrupt the
+    cache for everyone else; copy before mutating.
+    """
+    cached = functools.lru_cache(maxsize=8192)(
+        lambda params: _frozen(fn(params))
+    )
+
+    @functools.wraps(fn)
+    def wrapper(params: Sequence[float]) -> np.ndarray:
+        return cached(tuple(params))
+
+    wrapper.cache_clear = cached.cache_clear  # type: ignore[attr-defined]
+    wrapper.cache_info = cached.cache_info  # type: ignore[attr-defined]
+    return wrapper
+
+
 # ---------------------------------------------------------------------------
 # One-qubit gate matrices
 # ---------------------------------------------------------------------------
 
+@_memoized
 def u3_matrix(params: Sequence[float]) -> np.ndarray:
     """The generic one-qubit rotation U3(theta, phi, lam)."""
     theta, phi, lam = params
@@ -103,16 +133,19 @@ def u3_matrix(params: Sequence[float]) -> np.ndarray:
     )
 
 
+@_memoized
 def u2_matrix(params: Sequence[float]) -> np.ndarray:
     phi, lam = params
     return u3_matrix((math.pi / 2.0, phi, lam))
 
 
+@_memoized
 def u1_matrix(params: Sequence[float]) -> np.ndarray:
     (lam,) = params
     return _mat([[1.0, 0.0], [0.0, cmath.exp(1j * lam)]])
 
 
+@_memoized
 def rx_matrix(params: Sequence[float]) -> np.ndarray:
     (theta,) = params
     c = math.cos(theta / 2.0)
@@ -120,6 +153,7 @@ def rx_matrix(params: Sequence[float]) -> np.ndarray:
     return _mat([[c, -1j * s], [-1j * s, c]])
 
 
+@_memoized
 def ry_matrix(params: Sequence[float]) -> np.ndarray:
     (theta,) = params
     c = math.cos(theta / 2.0)
@@ -127,6 +161,7 @@ def ry_matrix(params: Sequence[float]) -> np.ndarray:
     return _mat([[c, -s], [s, c]])
 
 
+@_memoized
 def rz_matrix(params: Sequence[float]) -> np.ndarray:
     (theta,) = params
     e = cmath.exp(-1j * theta / 2.0)
@@ -135,95 +170,115 @@ def rz_matrix(params: Sequence[float]) -> np.ndarray:
 
 _SQRT2INV = 1.0 / math.sqrt(2.0)
 
+#: Constant gate matrices: built once at import, frozen, shared by every
+#: ``Gate.matrix()`` / ``gate_matrix`` call.
+_H = _frozen([[_SQRT2INV, _SQRT2INV], [_SQRT2INV, -_SQRT2INV]])
+_X = _frozen([[0.0, 1.0], [1.0, 0.0]])
+_Y = _frozen([[0.0, -1j], [1j, 0.0]])
+_Z = _frozen([[1.0, 0.0], [0.0, -1.0]])
+_S = _frozen([[1.0, 0.0], [0.0, 1j]])
+_SDG = _frozen([[1.0, 0.0], [0.0, -1j]])
+_T = _frozen([[1.0, 0.0], [0.0, cmath.exp(1j * math.pi / 4.0)]])
+_TDG = _frozen([[1.0, 0.0], [0.0, cmath.exp(-1j * math.pi / 4.0)]])
+_SX = _frozen(0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]))
+_ID = _frozen([[1.0, 0.0], [0.0, 1.0]])
+
 
 def _h_matrix(_params) -> np.ndarray:
-    return _mat([[_SQRT2INV, _SQRT2INV], [_SQRT2INV, -_SQRT2INV]])
+    return _H
 
 
 def _x_matrix(_params) -> np.ndarray:
-    return _mat([[0.0, 1.0], [1.0, 0.0]])
+    return _X
 
 
 def _y_matrix(_params) -> np.ndarray:
-    return _mat([[0.0, -1j], [1j, 0.0]])
+    return _Y
 
 
 def _z_matrix(_params) -> np.ndarray:
-    return _mat([[1.0, 0.0], [0.0, -1.0]])
+    return _Z
 
 
 def _s_matrix(_params) -> np.ndarray:
-    return _mat([[1.0, 0.0], [0.0, 1j]])
+    return _S
 
 
 def _sdg_matrix(_params) -> np.ndarray:
-    return _mat([[1.0, 0.0], [0.0, -1j]])
+    return _SDG
 
 
 def _t_matrix(_params) -> np.ndarray:
-    return _mat([[1.0, 0.0], [0.0, cmath.exp(1j * math.pi / 4.0)]])
+    return _T
 
 
 def _tdg_matrix(_params) -> np.ndarray:
-    return _mat([[1.0, 0.0], [0.0, cmath.exp(-1j * math.pi / 4.0)]])
+    return _TDG
 
 
 def _sx_matrix(_params) -> np.ndarray:
-    return 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+    return _SX
 
 
 def _id_matrix(_params) -> np.ndarray:
-    return _mat([[1.0, 0.0], [0.0, 1.0]])
+    return _ID
 
 
 def _delay_matrix(params: Sequence[float]) -> np.ndarray:
     """Identity; the parameter is the idle duration in ns (noise hooks on it)."""
-    return _mat([[1.0, 0.0], [0.0, 1.0]])
+    return _ID
 
 
 # ---------------------------------------------------------------------------
 # Two-qubit gate matrices (little-endian: right bit is the first qubit)
 # ---------------------------------------------------------------------------
 
+# Control = first qubit (q0, low bit), target = second qubit (q1).
+# |q1 q0>: 00 -> 00, 01 -> 11, 10 -> 10, 11 -> 01
+_CX = _frozen(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+    ]
+)
+_CZ = _frozen(np.diag([1.0, 1.0, 1.0, -1.0]))
+_SWAP = _frozen(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ]
+)
+_ISWAP = _frozen(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1j, 0],
+        [0, 1j, 0, 0],
+        [0, 0, 0, 1],
+    ]
+)
+
+
 def _cx_matrix(_params) -> np.ndarray:
-    # Control = first qubit (q0, low bit), target = second qubit (q1).
-    # |q1 q0>: 00 -> 00, 01 -> 11, 10 -> 10, 11 -> 01
-    return _mat(
-        [
-            [1, 0, 0, 0],
-            [0, 0, 0, 1],
-            [0, 0, 1, 0],
-            [0, 1, 0, 0],
-        ]
-    )
+    return _CX
 
 
 def _cz_matrix(_params) -> np.ndarray:
-    return _mat(np.diag([1.0, 1.0, 1.0, -1.0]))
+    return _CZ
 
 
 def _swap_matrix(_params) -> np.ndarray:
-    return _mat(
-        [
-            [1, 0, 0, 0],
-            [0, 0, 1, 0],
-            [0, 1, 0, 0],
-            [0, 0, 0, 1],
-        ]
-    )
+    return _SWAP
 
 
 def _iswap_matrix(_params) -> np.ndarray:
-    return _mat(
-        [
-            [1, 0, 0, 0],
-            [0, 0, 1j, 0],
-            [0, 1j, 0, 0],
-            [0, 0, 0, 1],
-        ]
-    )
+    return _ISWAP
 
 
+@_memoized
 def rzz_matrix(params: Sequence[float]) -> np.ndarray:
     """exp(-i theta/2 Z⊗Z) — the native TFIM Ising coupling."""
     (theta,) = params
@@ -232,6 +287,7 @@ def rzz_matrix(params: Sequence[float]) -> np.ndarray:
     return _mat(np.diag([e, ec, ec, e]))
 
 
+@_memoized
 def rxx_matrix(params: Sequence[float]) -> np.ndarray:
     """exp(-i theta/2 X⊗X)."""
     (theta,) = params
@@ -244,6 +300,7 @@ def rxx_matrix(params: Sequence[float]) -> np.ndarray:
     return m
 
 
+@_memoized
 def crx_matrix(params: Sequence[float]) -> np.ndarray:
     """Controlled-RX; control = first qubit (low bit)."""
     (theta,) = params
@@ -257,6 +314,7 @@ def crx_matrix(params: Sequence[float]) -> np.ndarray:
     return m
 
 
+@_memoized
 def cu1_matrix(params: Sequence[float]) -> np.ndarray:
     """Controlled phase gate; symmetric in its qubits."""
     (lam,) = params
@@ -267,7 +325,7 @@ def cu1_matrix(params: Sequence[float]) -> np.ndarray:
 # Three-qubit gate matrices
 # ---------------------------------------------------------------------------
 
-def _ccx_matrix(_params) -> np.ndarray:
+def _ccx_build() -> np.ndarray:
     """Toffoli; controls = qubits 0 and 1 (low bits), target = qubit 2."""
     m = np.eye(8, dtype=np.complex128)
     # states |q2 q1 q0>; control bits q0=q1=1 -> indices 3 (q2=0) and 7 (q2=1)
@@ -278,7 +336,7 @@ def _ccx_matrix(_params) -> np.ndarray:
     return m
 
 
-def _cswap_matrix(_params) -> np.ndarray:
+def _cswap_build() -> np.ndarray:
     """Fredkin; control = qubit 0 (low bit), swaps qubits 1 and 2."""
     m = np.eye(8, dtype=np.complex128)
     # control q0 = 1 and q1 != q2: |q2 q1 q0> = |011> (3) <-> |101> (5)
@@ -287,6 +345,18 @@ def _cswap_matrix(_params) -> np.ndarray:
     m[3, 5] = 1.0
     m[5, 3] = 1.0
     return m
+
+
+_CCX = _frozen(_ccx_build())
+_CSWAP = _frozen(_cswap_build())
+
+
+def _ccx_matrix(_params) -> np.ndarray:
+    return _CCX
+
+
+def _cswap_matrix(_params) -> np.ndarray:
+    return _CSWAP
 
 
 # ---------------------------------------------------------------------------

@@ -396,6 +396,17 @@ def mitigation_ablation(
                 probs, model.readout_errors(circuit.num_qubits)
             )
 
+        def run_many(self, circuits):
+            circuits = list(circuits)
+            return [
+                mitigate_readout(
+                    probs, model.readout_errors(circuit.num_qubits)
+                )
+                for circuit, probs in zip(
+                    circuits, raw_backend.run_many(circuits)
+                )
+            ]
+
     raw = _tfim_experiment(
         "ablation-raw", "raw", 3, "toronto", raw_backend, scale
     )

@@ -151,18 +151,37 @@ def evaluate_strategies(
     Returns ``{strategy: {"cnots": ..., "hs": ..., "error": ...}}`` plus an
     ``"oracle"`` row giving the pool's true best for reference.
     """
+    # The oracle row scans the whole pool and every strategy's pick is in
+    # it, so measure the pool once up front — batched when the backend
+    # supports it (``run_many``), else a plain run loop.  Circuits are
+    # hashable, so duplicated picks never re-execute.
+    candidates = list(pool)
+    run_many = getattr(backend, "run_many", None)
+    if run_many is not None:
+        distributions = list(run_many([c.circuit for c in candidates]))
+    else:
+        distributions = [backend.run(c.circuit) for c in candidates]
+    errors: Dict[object, float] = {}
+    for candidate, probs in zip(candidates, distributions):
+        errors.setdefault(candidate.circuit, float(error_of(probs)))
+
+    def measured_error(circuit) -> float:
+        if circuit not in errors:
+            errors[circuit] = float(error_of(backend.run(circuit)))
+        return errors[circuit]
+
     out: Dict[str, Dict[str, float]] = {}
     for strategy in strategies:
         pick = strategy.select(pool)
         out[strategy.name] = {
             "cnots": float(pick.cnot_count),
             "hs": float(pick.hs_distance),
-            "error": float(error_of(backend.run(pick.circuit))),
+            "error": measured_error(pick.circuit),
         }
-    best = min(pool, key=lambda c: error_of(backend.run(c.circuit)))
+    best = min(candidates, key=lambda c: measured_error(c.circuit))
     out["oracle"] = {
         "cnots": float(best.cnot_count),
         "hs": float(best.hs_distance),
-        "error": float(error_of(backend.run(best.circuit))),
+        "error": measured_error(best.circuit),
     }
     return out

@@ -21,7 +21,12 @@ from .devices import (
     available_devices,
     TABLE1_CNOT_ERRORS,
 )
-from .sweep import cnot_error_sweep, sweep_map, PAPER_SWEEP_LEVELS
+from .sweep import (
+    cnot_error_sweep,
+    sweep_map,
+    sweep_pool_distributions,
+    PAPER_SWEEP_LEVELS,
+)
 from .tomography import (
     state_tomography,
     process_tomography,
@@ -56,6 +61,7 @@ __all__ = [
     "TABLE1_CNOT_ERRORS",
     "cnot_error_sweep",
     "sweep_map",
+    "sweep_pool_distributions",
     "PAPER_SWEEP_LEVELS",
     "invert_readout",
     "mitigate_readout",

@@ -100,6 +100,10 @@ class NoiseModel:
             Tuple[str, Tuple[int, ...]],
             List[Tuple[KrausChannel, Tuple[int, ...]]],
         ] = {}
+        self._resolved: Dict[
+            Tuple[str, Tuple[int, ...]],
+            List[Tuple[KrausChannel, Tuple[int, ...]]],
+        ] = {}
         self._idle_cache: Dict[Tuple[int, float], KrausChannel] = {}
 
     # ------------------------------------------------------------------
@@ -122,6 +126,7 @@ class NoiseModel:
         else:
             self._local[(gate_name, tuple(qubits))] = error
         self._compiled.clear()
+        self._resolved.clear()
         return self
 
     def add_readout_error(self, error: ReadoutError, qubit: int) -> "NoiseModel":
@@ -167,16 +172,23 @@ class NoiseModel:
                     t1, t2, duration
                 )
             return [(self._idle_cache[key], (qubit,))]
-        error = self.gate_error(gate)
-        if error is None or error.is_trivial:
-            return []
         key = (gate.name, gate.qubits)
-        if key not in self._compiled:
-            self._compiled[key] = error.compile(len(gate.qubits))
-        return [
-            (channel, tuple(gate.qubits[i] for i in local))
-            for channel, local in self._compiled[key]
-        ]
+        resolved = self._resolved.get(key)
+        if resolved is None:
+            error = self.gate_error(gate)
+            if error is None or error.is_trivial:
+                resolved = self._resolved[key] = []
+            else:
+                if key not in self._compiled:
+                    self._compiled[key] = error.compile(len(gate.qubits))
+                # The global-qubit mapping depends only on the key, so
+                # cache the materialised list too (callers must not
+                # mutate it).
+                resolved = self._resolved[key] = [
+                    (channel, tuple(gate.qubits[i] for i in local))
+                    for channel, local in self._compiled[key]
+                ]
+        return resolved
 
     def readout_error(self, qubit: int) -> Optional[ReadoutError]:
         return self._readout.get(qubit)

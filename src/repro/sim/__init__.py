@@ -1,7 +1,18 @@
 """Simulators: ideal statevector, exact noisy density matrix, shot sampling."""
 
 from .statevector import Statevector, StatevectorSimulator
-from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .density_matrix import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    TraceDriftWarning,
+    check_trace,
+)
+from .compile import CompiledCircuit, BoundCircuit, compile_circuit
+from .batched import (
+    BatchedDensityMatrixSimulator,
+    simulate_compiled,
+    simulate_pool,
+)
 from .trajectory import TrajectorySimulator
 from .stabilizer import StabilizerSimulator, StabilizerState, CLIFFORD_GATES
 from .sampler import sample_counts, counts_to_probabilities, Counts
@@ -17,6 +28,14 @@ __all__ = [
     "StatevectorSimulator",
     "DensityMatrix",
     "DensityMatrixSimulator",
+    "TraceDriftWarning",
+    "check_trace",
+    "CompiledCircuit",
+    "BoundCircuit",
+    "compile_circuit",
+    "BatchedDensityMatrixSimulator",
+    "simulate_compiled",
+    "simulate_pool",
     "TrajectorySimulator",
     "StabilizerSimulator",
     "StabilizerState",

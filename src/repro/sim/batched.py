@@ -1,0 +1,377 @@
+"""Batched density-matrix propagation over stacks of noise models.
+
+The paper's sweep experiments (Figs. 8–11) re-simulate the *same* circuit
+pool under several noise models that differ only in their CNOT error rate.
+Serially that costs one full density-matrix propagation per
+``(circuit, model)`` pair.  This engine instead:
+
+1. compiles each circuit once (:mod:`repro.sim.compile`),
+2. groups the noise models by :func:`~repro.sim.compile.channel_signature`
+   — models that attach channels to the same sites bind to structurally
+   identical op-lists and can share one propagation,
+3. lowers each group's op-list to a *superoperator program*: every op
+   becomes one ``(4**k, 4**k)`` matrix acting on the vectorised local
+   block.  Unitaries become ``kron(U, conj(U))``; channel superoperators
+   that are equal across the group stay **shared** ``(4**k, 4**k)``,
+   per-model ones (the swept CNOT depolarizing) are **stacked** into
+   ``(B, 4**k, 4**k)``.  Consecutive program steps on identical qubit
+   tuples are pre-composed (``S2 @ S1``) — a CNOT and its depolarizing
+   channel collapse into a single matmul,
+4. propagates all ``B`` density matrices at once as a
+   ``(B,) + (2,) * 2n`` tensor: one broadcast :func:`numpy.matmul` per
+   program step covers the whole batch (``numpy`` broadcasts shared
+   ``(d², d²)`` and stacked ``(B, d², d²)`` operators through the same
+   code path).
+
+Results match the serial :class:`~repro.sim.density_matrix.DensityMatrixSimulator`
+to <= 1e-12 in the final probability distributions (identical math,
+reassociated floating point), which keeps store keys and checkpointed
+campaign artifacts valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.channels import apply_readout_errors
+from ..noise.model import NoiseModel
+from ..parallel import parallel_map
+from .compile import CompiledCircuit, compile_circuit
+from .density_matrix import check_trace
+
+__all__ = [
+    "BatchedDensityMatrixSimulator",
+    "simulate_compiled",
+    "simulate_pool",
+]
+
+
+#: Unitary superoperators keyed by matrix bytes.  Gate matrices are
+#: memoized module-level arrays (:mod:`repro.circuits.gates`) and fused
+#: products repeat across the binds of a model stack, so the same small
+#: matrices recur constantly — hashing their bytes is far cheaper than
+#: re-running ``kron``.
+_SUPEROP_CACHE: Dict[Tuple[bytes, int], np.ndarray] = {}
+_SUPEROP_CACHE_MAX = 16384
+
+
+def _unitary_superoperator(matrix: np.ndarray) -> np.ndarray:
+    """``S = U (x) conj(U)`` — same vec convention as ``KrausChannel``."""
+    key = (matrix.tobytes(), matrix.shape[0])
+    cached = _SUPEROP_CACHE.get(key)
+    if cached is None:
+        if len(_SUPEROP_CACHE) >= _SUPEROP_CACHE_MAX:
+            _SUPEROP_CACHE.clear()
+        cached = np.kron(matrix, matrix.conj())
+        cached.setflags(write=False)
+        _SUPEROP_CACHE[key] = cached
+    return cached
+
+
+#: Shared-or-stacked superoperators per tuple of channel objects.  Noise
+#: models cache their compiled channels per gate site, so the exact same
+#: object tuple recurs for every circuit in a pool; the values pin the
+#: channels, keeping the ``id``-based keys valid.
+_CHANNEL_STACK_CACHE: Dict[
+    Tuple[int, ...], Tuple[Tuple[object, ...], np.ndarray]
+] = {}
+_CHANNEL_STACK_CACHE_MAX = 16384
+
+
+def _channel_stack(channels: Tuple) -> np.ndarray:
+    """One operator for a channel site: shared ``(d², d²)`` when every
+    model's superoperator agrees, stacked ``(B, d², d²)`` otherwise."""
+    key = tuple(id(channel) for channel in channels)
+    hit = _CHANNEL_STACK_CACHE.get(key)
+    if hit is not None:
+        return hit[1]
+    supers = [channel.superoperator() for channel in channels]
+    first = supers[0]
+    if all(s is first or np.array_equal(s, first) for s in supers[1:]):
+        operator = first
+    else:
+        operator = np.stack(supers)
+    if len(_CHANNEL_STACK_CACHE) >= _CHANNEL_STACK_CACHE_MAX:
+        _CHANNEL_STACK_CACHE.clear()
+    _CHANNEL_STACK_CACHE[key] = (channels, operator)
+    return operator
+
+
+def _build_program(
+    compiled: CompiledCircuit,
+    reference,
+    others: Sequence[Optional[NoiseModel]],
+) -> List[Tuple[np.ndarray, Tuple[int, ...]]]:
+    """Lower one structure-group to a superoperator program.
+
+    ``reference`` is the bound circuit of the group's first model;
+    ``others`` are the remaining models, whose channels are looked up by
+    the reference's provenance records instead of re-binding each one.
+    Returns ``(operator, qubits)`` steps where ``operator`` is either a
+    shared ``(4**k, 4**k)`` superoperator or a stacked
+    ``(B, 4**k, 4**k)`` one.  Consecutive steps on identical qubit tuples
+    are composed eagerly.
+    """
+    # Per-model channel lists per gate, resolved lazily per gate index —
+    # ``operations_for`` returns its cached list, so this is a dict hit.
+    channel_lists: Dict[int, List] = {}
+
+    def site_channels(site: int, payload) -> Tuple:
+        gate_index, offset = reference.provenance[site]
+        per_gate = channel_lists.get(gate_index)
+        if per_gate is None:
+            gate = compiled.ops[gate_index].gate
+            per_gate = channel_lists[gate_index] = [
+                model.operations_for(gate) for model in others
+            ]
+        return (payload,) + tuple(
+            channels[offset][0] for channels in per_gate
+        )
+
+    steps: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
+    for site, (kind, payload, qubits) in enumerate(reference.ops):
+        if kind == "u":
+            operator = _unitary_superoperator(payload)
+        else:
+            operator = _channel_stack(site_channels(site, payload))
+        if steps and steps[-1][1] == qubits:
+            previous, _ = steps[-1]
+            # np.matmul broadcasts every shared/stacked combination.
+            steps[-1] = (np.matmul(operator, previous), qubits)
+        else:
+            steps.append((operator, qubits))
+    return steps
+
+
+#: Transpose plans per ``(num_qubits, qubit-tuple)``: one tuple-arg
+#: transpose is much cheaper than np.moveaxis's per-call normalisation.
+_PLAN_CACHE: Dict[
+    Tuple[int, Tuple[int, ...]], Tuple[Tuple[int, ...], Tuple[int, ...]]
+] = {}
+
+
+def _propagate(
+    steps: Sequence[Tuple[np.ndarray, Tuple[int, ...]]],
+    num_qubits: int,
+    batch: int,
+) -> np.ndarray:
+    """Run a superoperator program on ``batch`` copies of ``|0..0><0..0|``.
+
+    The state is a ``(B,) + (2,) * 2n`` tensor (batch axis first, then row
+    qubit axes, then column qubit axes, little-endian as everywhere else).
+    Each step is one broadcast matmul over the whole batch.
+    """
+    n = num_qubits
+    dim = 2**n
+    tensor = np.zeros((batch,) + (2,) * (2 * n), dtype=np.complex128)
+    tensor[(slice(None),) + (0,) * (2 * n)] = 1.0
+    for operator, qubits in steps:
+        k = len(qubits)
+        plan = _PLAN_CACHE.get((n, qubits))
+        if plan is None:
+            # Batched twins of KrausChannel.apply's axis maps (shifted by
+            # the leading batch axis); superoperator bit order high-first.
+            row_axes = [1 + n - 1 - qubits[k - 1 - j] for j in range(k)]
+            col_axes = [1 + 2 * n - 1 - qubits[k - 1 - j] for j in range(k)]
+            front = [0] + row_axes + col_axes
+            perm = tuple(
+                front + [ax for ax in range(1 + 2 * n) if ax not in front]
+            )
+            inverse = tuple(int(i) for i in np.argsort(perm))
+            plan = _PLAN_CACHE[(n, qubits)] = (perm, inverse)
+        perm, inverse = plan
+        flat = tensor.transpose(perm).reshape(batch, 4**k, -1)
+        flat = np.matmul(operator, flat)
+        tensor = flat.reshape((batch,) + (2,) * (2 * n)).transpose(inverse)
+    return np.ascontiguousarray(tensor).reshape(batch, dim, dim)
+
+
+def _distributions(
+    rhos: np.ndarray,
+    *,
+    strict: bool = False,
+    atol: float = 1e-8,
+) -> np.ndarray:
+    """Pre-readout measurement distributions from a stack of final states."""
+    probs = np.real(np.diagonal(rhos, axis1=1, axis2=2)).copy()
+    probs[probs < 0.0] = 0.0
+    totals = probs.sum(axis=1)
+    worst = totals[int(np.argmax(np.abs(totals - 1.0)))]
+    check_trace(
+        float(worst), strict=strict, atol=atol, context="batched density matrix"
+    )
+    positive = totals > 0.0
+    probs[positive] /= totals[positive, None]
+    return probs
+
+
+def _apply_readout_batch(
+    probs: np.ndarray,
+    models: Sequence[Optional[NoiseModel]],
+    num_qubits: int,
+) -> np.ndarray:
+    """Readout confusion over a batch of distributions.
+
+    Sweep stacks share their readout errors (``with_cnot_depolarizing``
+    copies never touch them), so the common case applies each per-qubit
+    confusion matrix to the whole batch with one tensordot.
+    """
+    noisy = [
+        model is not None and model.has_readout_error for model in models
+    ]
+    if not any(noisy):
+        return probs
+    error_lists = [
+        model.readout_errors(num_qubits) if flagged else None
+        for model, flagged in zip(models, noisy)
+    ]
+    first = next(errors for errors in error_lists if errors is not None)
+    if all(noisy) and all(errors == first for errors in error_lists[1:]):
+        tensor = probs.reshape((len(models),) + (2,) * num_qubits)
+        for q, err in enumerate(first):
+            if err is None:
+                continue
+            axis = 1 + num_qubits - 1 - q
+            tensor = np.tensordot(err.matrix, tensor, axes=([1], [axis]))
+            tensor = np.moveaxis(tensor, 0, axis)
+        return np.ascontiguousarray(tensor).reshape(len(models), -1)
+    for i, errors in enumerate(error_lists):
+        if errors is not None:
+            probs[i] = apply_readout_errors(probs[i], errors)
+    return probs
+
+
+def _group_key(
+    compiled: CompiledCircuit, model: Optional[NoiseModel]
+) -> tuple:
+    """Grouping key equivalent to the full channel signature.
+
+    A model resolves channel structure per distinct noise-lookup key, so
+    probing only :attr:`CompiledCircuit.distinct_gates` yields the same
+    partition as :func:`~repro.sim.compile.channel_signature` at a
+    fraction of the walk.
+    """
+    if model is None:
+        return (None,)
+    return tuple(
+        tuple(qubits for _, qubits in model.operations_for(gate))
+        for gate in compiled.distinct_gates
+    )
+
+
+def simulate_compiled(
+    compiled: CompiledCircuit,
+    noise_models: Sequence[Optional[NoiseModel]],
+    *,
+    with_readout_error: bool = True,
+    fuse: bool = True,
+    strict: bool = False,
+) -> np.ndarray:
+    """Distributions of one compiled circuit under a stack of noise models.
+
+    Models are partitioned by channel-structure signature (sweep level 0.0
+    drops the CNOT depolarizing channel, so it propagates in its own
+    group); each group runs as one batched pass and results are scattered
+    back into input order.  Returns ``(len(noise_models), 2**n)``.
+    """
+    models = list(noise_models)
+    if not models:
+        raise ValueError("need at least one noise model (None = ideal)")
+    n = compiled.num_qubits
+    out = np.empty((len(models), 2**n), dtype=np.float64)
+    groups: Dict[tuple, List[int]] = {}
+    for index, model in enumerate(models):
+        groups.setdefault(_group_key(compiled, model), []).append(index)
+    for indices in groups.values():
+        # One bind per group; sibling models share the structure and
+        # contribute only their channel contents (via provenance lookup).
+        reference = compiled.bind(models[indices[0]], fuse=fuse)
+        others = [models[i] for i in indices[1:]]
+        steps = _build_program(compiled, reference, others)
+        rhos = _propagate(steps, n, len(indices))
+        out[indices] = _distributions(rhos, strict=strict)
+    if with_readout_error:
+        # Applied once over the whole model stack (not per group) so the
+        # common shared-readout case is a handful of batch tensordots.
+        out = _apply_readout_batch(out, models, n)
+    return out
+
+
+def _pool_task(task) -> np.ndarray:
+    """Worker payload: one compiled circuit against the full model stack."""
+    compiled, models, with_readout_error, fuse, strict = task
+    return simulate_compiled(
+        compiled,
+        models,
+        with_readout_error=with_readout_error,
+        fuse=fuse,
+        strict=strict,
+    )
+
+
+def simulate_pool(
+    circuits: Sequence[QuantumCircuit],
+    noise_models: Sequence[Optional[NoiseModel]],
+    *,
+    with_readout_error: bool = True,
+    fuse: bool = True,
+    strict: bool = False,
+    jobs: Optional[int] = None,
+    chunksize: int = 4,
+) -> List[np.ndarray]:
+    """Simulate every circuit under every noise model, batched.
+
+    The workhorse behind pool/sweep workloads: each circuit is compiled
+    once, then propagated under the whole model stack in (at most a few)
+    batched passes.  With ``jobs`` the circuits fan out over
+    :func:`~repro.parallel.parallel_map` — workers receive *compiled*
+    circuits, so the gate walk and matrix resolution never repeat per
+    worker task.
+
+    Returns one ``(len(noise_models), 2**n_c)`` array per circuit, in
+    input order.  Distributions match the serial
+    ``DensityMatrixSimulator(model).probabilities(circuit)`` path to
+    <= 1e-12.
+    """
+    models = list(noise_models)
+    tasks = [
+        (compile_circuit(circuit), models, with_readout_error, fuse, strict)
+        for circuit in circuits
+    ]
+    return parallel_map(_pool_task, tasks, jobs=jobs, chunksize=chunksize)
+
+
+class BatchedDensityMatrixSimulator:
+    """Drop-in companion to :class:`DensityMatrixSimulator` for model stacks.
+
+    Holds a fixed stack of noise models; :meth:`probabilities` returns the
+    distribution of a circuit under every model at once.
+    """
+
+    def __init__(
+        self,
+        noise_models: Sequence[Optional[NoiseModel]],
+        *,
+        fuse: bool = True,
+    ) -> None:
+        self.noise_models = list(noise_models)
+        self.fuse = fuse
+
+    def probabilities(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        with_readout_error: bool = True,
+        strict: bool = False,
+    ) -> np.ndarray:
+        """``(len(noise_models), 2**n)`` distributions for ``circuit``."""
+        return simulate_compiled(
+            compile_circuit(circuit),
+            self.noise_models,
+            with_readout_error=with_readout_error,
+            fuse=self.fuse,
+            strict=strict,
+        )

@@ -8,6 +8,7 @@ the reproduction's stand-in for Qiskit Aer with a device noise model.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -18,7 +19,43 @@ from ..noise.channels import apply_readout_errors
 from ..noise.model import NoiseModel
 from .statevector import Statevector
 
-__all__ = ["DensityMatrix", "DensityMatrixSimulator"]
+__all__ = [
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "TraceDriftWarning",
+    "check_trace",
+]
+
+
+class TraceDriftWarning(RuntimeWarning):
+    """The trace of a density matrix drifted away from 1 before readout.
+
+    All channels in ``repro.noise`` are trace preserving, so a drift beyond
+    float roundoff means a channel's Kraus operators are mis-normalized (or a
+    caller handed in an unnormalized state).  ``probabilities`` used to mask
+    this by silently renormalizing; it now renormalizes *and* reports.
+    """
+
+
+def check_trace(
+    total: float,
+    *,
+    strict: bool = False,
+    atol: float = 1e-8,
+    context: str = "density matrix",
+) -> None:
+    """Warn (or raise when ``strict``) if ``total`` drifted from 1 by > ``atol``."""
+    drift = abs(total - 1.0)
+    if drift <= atol:
+        return
+    message = (
+        f"{context} trace drifted to {total!r} (|drift| = {drift:.3e} > "
+        f"atol = {atol:.1e}); distribution will be renormalized. This "
+        "usually indicates a non-trace-preserving channel."
+    )
+    if strict:
+        raise ValueError(message)
+    warnings.warn(message, TraceDriftWarning, stacklevel=3)
 
 
 class DensityMatrix:
@@ -46,11 +83,23 @@ class DensityMatrix:
         v = state.data
         return cls(np.outer(v, v.conj()))
 
-    def probabilities(self) -> np.ndarray:
-        """Measurement distribution over computational basis states."""
+    def probabilities(
+        self,
+        *,
+        strict: bool = False,
+        atol: float = 1e-8,
+    ) -> np.ndarray:
+        """Measurement distribution over computational basis states.
+
+        Negative diagonal entries from float roundoff are clamped to zero and
+        the result renormalized, but a trace drift beyond ``atol`` triggers a
+        :class:`TraceDriftWarning` (or ``ValueError`` when ``strict``) instead
+        of being masked.
+        """
         probs = np.real(np.diagonal(self.data)).copy()
         probs[probs < 0] = 0.0
         total = probs.sum()
+        check_trace(float(total), strict=strict, atol=atol)
         if total > 0:
             probs /= total
         return probs

@@ -1,0 +1,227 @@
+"""Compiled + batched density-matrix engine: equivalence and contracts.
+
+The batched engine's whole value proposition is that it is *not* a new
+simulator — it must reproduce the serial
+:class:`~repro.sim.density_matrix.DensityMatrixSimulator` to <= 1e-12 on
+every pool/sweep workload the paper runs.  These tests pin that contract
+on the real experiment pools (TFIM, Grover, Toffoli at smoke scale) and
+on randomized circuits, plus the satellite behaviours that rode along:
+memoized gate matrices and the trace-drift check.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz_circuit, random_circuit
+from repro.circuits.gates import gate_matrix, rx_matrix, u3_matrix
+from repro.experiments import grover_pools, tfim_pools, toffoli_pools
+from repro.experiments.runner import NoiseModelBackend, run_distributions
+from repro.experiments.scale import get_scale
+from repro.noise import PAPER_SWEEP_LEVELS, cnot_error_sweep, get_device
+from repro.noise.sweep import sweep_pool_distributions
+from repro.sim import (
+    BatchedDensityMatrixSimulator,
+    DensityMatrix,
+    DensityMatrixSimulator,
+    TraceDriftWarning,
+    check_trace,
+    compile_circuit,
+    simulate_compiled,
+    simulate_pool,
+)
+
+ATOL = 1e-12
+QUBITS = [0, 1, 2]
+
+
+def _sweep_models(device="ourense"):
+    """The fig. 8–10 stack plus the ideal model (None)."""
+    return [None] + cnot_error_sweep(device, PAPER_SWEEP_LEVELS, qubits=QUBITS)
+
+
+def _serial(circuit, model):
+    return DensityMatrixSimulator(model).probabilities(circuit)
+
+
+def _pool_circuits(pools):
+    return [
+        c.circuit.without_measurements() for _, pool in pools for c in pool
+    ]
+
+
+class TestBatchedMatchesSerial:
+    """Batched vs serial on the paper's actual circuit pools."""
+
+    @pytest.mark.parametrize(
+        "pools_fn",
+        [
+            lambda s: tfim_pools(3, scale=s),
+            lambda s: grover_pools([3], scale=s),
+            lambda s: toffoli_pools([2], scale=s),
+        ],
+        ids=["tfim", "grover", "toffoli"],
+    )
+    def test_pools_across_sweep_levels(self, pools_fn):
+        circuits = _pool_circuits(pools_fn(get_scale()))
+        assert circuits, "pool fixtures must not be empty"
+        models = _sweep_models()
+        for circuit in circuits[:12]:
+            batched = simulate_compiled(compile_circuit(circuit), models)
+            assert batched.shape == (len(models), 2**circuit.num_qubits)
+            for row, model in zip(batched, models):
+                assert np.max(np.abs(row - _serial(circuit, model))) <= ATOL
+
+    def test_level_zero_groups_with_ideal_structure(self):
+        """p=0 drops the CNOT depolarizing channel — its own group must
+        still match the serial result exactly."""
+        circuit = ghz_circuit(3)
+        models = cnot_error_sweep("ourense", [0.0], qubits=QUBITS)
+        batched = simulate_compiled(compile_circuit(circuit), models)
+        assert np.max(np.abs(batched[0] - _serial(circuit, models[0]))) <= ATOL
+
+    def test_without_readout_error(self):
+        circuit = ghz_circuit(3)
+        models = _sweep_models()
+        batched = simulate_compiled(
+            compile_circuit(circuit), models, with_readout_error=False
+        )
+        for row, model in zip(batched, models):
+            sim = DensityMatrixSimulator(model)
+            serial = sim.probabilities(circuit, with_readout_error=False)
+            assert np.max(np.abs(row - serial)) <= ATOL
+
+
+class TestFusion:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fused_matches_unfused_randomized(self, seed):
+        circuit = random_circuit(3, 30, seed=seed)
+        models = _sweep_models()
+        compiled = compile_circuit(circuit)
+        fused = simulate_compiled(compiled, models, fuse=True)
+        unfused = simulate_compiled(compiled, models, fuse=False)
+        assert np.max(np.abs(fused - unfused)) <= ATOL
+
+    def test_fusion_shrinks_op_list(self):
+        qc = QuantumCircuit(2)
+        for _ in range(5):
+            qc.h(0)
+            qc.t(0)
+        qc.cx(0, 1)
+        compiled = compile_circuit(qc)
+        fused = compiled.bind(None, fuse=True)
+        unfused = compiled.bind(None, fuse=False)
+        assert len(fused.ops) < len(unfused.ops)
+        # The fused single-qubit run still produces the same state.
+        rho = DensityMatrix.zero_state(2).data
+        assert np.allclose(fused.apply(rho), unfused.apply(rho), atol=ATOL)
+
+
+class TestPoolAndSweepWiring:
+    def test_simulate_pool_parallel_matches_serial_jobs(self):
+        circuits = [random_circuit(3, 20, seed=s) for s in range(6)]
+        models = _sweep_models()
+        serial = simulate_pool(circuits, models, jobs=1)
+        parallel = simulate_pool(circuits, models, jobs=2, chunksize=2)
+        assert len(serial) == len(parallel) == len(circuits)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+    def test_sweep_pool_distributions_shape_and_values(self):
+        circuits = [ghz_circuit(3), random_circuit(3, 15, seed=7)]
+        stacked = sweep_pool_distributions(circuits, "ourense", qubits=QUBITS)
+        models = cnot_error_sweep("ourense", PAPER_SWEEP_LEVELS, qubits=QUBITS)
+        assert stacked.shape == (len(models), len(circuits), 8)
+        for li, model in enumerate(models):
+            for ci, circuit in enumerate(circuits):
+                diff = np.abs(stacked[li, ci] - _serial(circuit, model))
+                assert np.max(diff) <= ATOL
+
+    def test_run_many_matches_run_loop(self):
+        model = get_device("ourense").noise_model(QUBITS)
+        backend = NoiseModelBackend(model)
+        circuits = [random_circuit(3, 18, seed=s) for s in range(4)]
+        batched = backend.run_many(circuits)
+        for circuit, probs in zip(circuits, batched):
+            assert np.max(np.abs(probs - backend.run(circuit))) <= ATOL
+
+    def test_run_distributions_falls_back_without_run_many(self):
+        class Loop:
+            calls = 0
+
+            def run(self, circuit):
+                self.calls += 1
+                return DensityMatrixSimulator().probabilities(circuit)
+
+        backend = Loop()
+        circuits = [ghz_circuit(2), ghz_circuit(2)]
+        out = run_distributions(backend, circuits)
+        assert backend.calls == 2 and len(out) == 2
+
+    def test_batched_simulator_facade(self):
+        models = _sweep_models()
+        sim = BatchedDensityMatrixSimulator(models)
+        circuit = ghz_circuit(3)
+        stack = sim.probabilities(circuit)
+        for row, model in zip(stack, models):
+            assert np.max(np.abs(row - _serial(circuit, model))) <= ATOL
+
+    def test_empty_model_stack_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_compiled(compile_circuit(ghz_circuit(2)), [])
+
+
+class TestGateMemoization:
+    def test_constant_matrices_are_shared_and_frozen(self):
+        first = gate_matrix("h")
+        assert first is gate_matrix("h")
+        assert not first.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            first[0, 0] = 0.0
+
+    def test_parametric_builders_memoize_per_params(self):
+        a = rx_matrix((0.3,))
+        assert a is rx_matrix((0.3,))
+        assert a is not rx_matrix((0.4,))
+        assert not a.flags.writeable
+        b = u3_matrix((0.1, 0.2, 0.3))
+        assert b is u3_matrix((0.1, 0.2, 0.3))
+
+    def test_memoized_values_stay_correct(self):
+        theta = 0.3
+        expected = np.array(
+            [
+                [np.cos(theta / 2), -1j * np.sin(theta / 2)],
+                [-1j * np.sin(theta / 2), np.cos(theta / 2)],
+            ]
+        )
+        assert np.allclose(rx_matrix((theta,)), expected)
+
+
+class TestTraceDrift:
+    def test_probabilities_warns_on_drift(self):
+        rho = DensityMatrix(np.diag([0.6, 0.3]).astype(complex))
+        with pytest.warns(TraceDriftWarning):
+            probs = rho.probabilities()
+        # Still renormalized, as before.
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_strict_raises(self):
+        rho = DensityMatrix(np.diag([0.6, 0.3]).astype(complex))
+        with pytest.raises(ValueError, match="trace"):
+            rho.probabilities(strict=True)
+
+    def test_clean_state_is_silent(self):
+        rho = DensityMatrix.zero_state(2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rho.probabilities()
+            rho.probabilities(strict=True)
+
+    def test_check_trace_tolerance(self):
+        check_trace(1.0 + 1e-10)  # within atol: silent
+        with pytest.warns(TraceDriftWarning, match="batched"):
+            check_trace(0.9, context="batched density matrix")
+        with pytest.raises(ValueError):
+            check_trace(0.9, strict=True)
